@@ -1,0 +1,77 @@
+// Command janus-bench regenerates the paper's evaluation tables and
+// figures over the synthetic workload suite:
+//
+//	janus-bench            all experiments
+//	janus-bench -fig 7     one figure (6..12)
+//	janus-bench -table 1   one table (1 or 2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"janus/internal/harness"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one figure (6..12); 0 = all")
+	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
+	threads := flag.Int("threads", harness.DefaultThreads, "thread count")
+	flag.Parse()
+
+	runAll := *fig == 0 && *table == 0
+	run := func(n int) bool { return runAll || *fig == n }
+	runT := func(n int) bool { return runAll || *table == n }
+
+	if run(6) {
+		rows, err := harness.Figure6()
+		exitOn(err)
+		fmt.Println(harness.RenderFigure6(rows))
+	}
+	if run(7) {
+		rows, err := harness.Figure7(*threads)
+		exitOn(err)
+		fmt.Println(harness.RenderFigure7(rows))
+	}
+	if run(8) {
+		rows, err := harness.Figure8(*threads)
+		exitOn(err)
+		fmt.Println(harness.RenderFigure8(rows))
+	}
+	if run(9) {
+		rows, err := harness.Figure9(*threads)
+		exitOn(err)
+		fmt.Println(harness.RenderFigure9(rows))
+	}
+	if run(10) {
+		rows, err := harness.Figure10()
+		exitOn(err)
+		fmt.Println(harness.RenderFigure10(rows))
+	}
+	if run(11) {
+		rows, err := harness.Figure11(*threads)
+		exitOn(err)
+		fmt.Println(harness.RenderFigure11(rows))
+	}
+	if run(12) {
+		rows, err := harness.Figure12(*threads)
+		exitOn(err)
+		fmt.Println(harness.RenderFigure12(rows))
+	}
+	if runT(1) {
+		rows, err := harness.TableI()
+		exitOn(err)
+		fmt.Println(harness.RenderTableI(rows))
+	}
+	if runT(2) {
+		fmt.Println(harness.TableII())
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "janus-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,176 @@
+// Command janus drives the Janus pipeline from the command line over
+// the built-in workload suite:
+//
+//	janus analyze  -bench 470.lbm            static analysis report
+//	janus profile  -bench 470.lbm            statically-driven profiling
+//	janus schedule -bench 470.lbm -o x.jrs   emit the rewrite schedule
+//	janus run      -bench 470.lbm -threads 8 parallelise and execute
+//	janus disasm   -bench 470.lbm            disassemble the binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"janus"
+	"janus/internal/analyzer"
+	"janus/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	bench := fs.String("bench", "470.lbm", "workload name (see 'janus list')")
+	threads := fs.Int("threads", 8, "parallel thread count")
+	input := fs.String("input", "ref", "input set: train or ref")
+	opt := fs.String("opt", "O3", "optimisation level: O2, O3, O3avx")
+	out := fs.String("o", "", "output file for 'schedule'")
+	noProfile := fs.Bool("no-profile", false, "disable profile-guided selection")
+	noChecks := fs.Bool("no-checks", false, "disable runtime checks and speculation")
+	_ = fs.Parse(os.Args[2:])
+
+	if cmd == "list" {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	in := workloads.Ref
+	if *input == "train" {
+		in = workloads.Train
+	}
+	level := workloads.O3
+	switch *opt {
+	case "O2":
+		level = workloads.O2
+	case "O3avx":
+		level = workloads.O3AVX
+	}
+	exe, libs, err := workloads.Build(*bench, in, level)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "analyze":
+		prog, err := analyzer.Analyze(exe)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d functions, %d loops\n", exe.Name, len(prog.CFG.Funcs), len(prog.Loops))
+		counts := prog.ClassCounts()
+		var classes []analyzer.Class
+		for c := range counts {
+			classes = append(classes, c)
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+		for _, c := range classes {
+			fmt.Printf("  %-16s %d\n", c, counts[c])
+		}
+		for _, li := range prog.Loops {
+			fmt.Printf("loop %2d @%#x depth=%d class=%-14s %s\n",
+				li.ID, li.Loop.Header.Addr, li.Loop.Depth, li.Class, li.Sym)
+		}
+
+	case "profile":
+		prog, err := analyzer.Analyze(exe)
+		if err != nil {
+			fatal(err)
+		}
+		pr, err := janus.RunProfiling(exe, prog, libs...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6s %-10s %-10s %-10s %s\n", "loop", "coverage", "avg-iter", "dep", "class")
+		ids := make([]int, 0, len(pr.Coverage))
+		for id := range pr.Coverage {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			li := prog.LoopByID(id)
+			dep := "-"
+			if d, ok := pr.Dependences[id]; ok {
+				dep = fmt.Sprintf("%v", d)
+			}
+			fmt.Printf("%-6d %9.2f%% %10.1f %-10s %s\n", id, 100*pr.Coverage[id], pr.AvgIters[id], dep, li.Class)
+		}
+
+	case "schedule":
+		rep, err := janus.Parallelise(exe, janus.Config{
+			Threads:    *threads,
+			UseProfile: !*noProfile,
+			UseChecks:  !*noChecks,
+		}, libs...)
+		if err != nil {
+			fatal(err)
+		}
+		img, err := rep.Schedule.Save()
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, img, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %d bytes (%d rules) to %s\n", len(img), len(rep.Schedule.Rules), *out)
+		} else {
+			for _, r := range rep.Schedule.Rules {
+				fmt.Println(r)
+			}
+			fmt.Printf("# %d rules, %d bytes serialised (%.1f%% of binary)\n",
+				len(rep.Schedule.Rules), len(img), 100*float64(len(img))/float64(exe.Size()))
+		}
+
+	case "run":
+		rep, err := janus.Parallelise(exe, janus.Config{
+			Threads:    *threads,
+			UseProfile: !*noProfile,
+			UseChecks:  !*noChecks,
+			Verify:     true,
+		}, libs...)
+		if err != nil {
+			fatal(err)
+		}
+		st := rep.Stats
+		fmt.Printf("%s: speedup %.2fx over native (%d threads)\n", exe.Name, rep.Speedup(), *threads)
+		fmt.Printf("  native cycles      %12d\n", rep.Native.Cycles)
+		fmt.Printf("  janus cycles       %12d\n", rep.DBM.Cycles)
+		fmt.Printf("  loops selected     %12d\n", rep.Selected)
+		fmt.Printf("  parallel regions   %12d (fallbacks %d)\n", st.ParRegions, st.SeqFallbacks)
+		fmt.Printf("  checks run/failed  %9d/%d\n", st.ChecksRun, st.ChecksFailed)
+		fmt.Printf("  tx start/commit/abort %6d/%d/%d\n", st.TxStarted, st.TxCommits, st.TxAborts)
+		fmt.Printf("  blocks translated  %12d (%d insts)\n", st.TransBlocks, st.TransInsts)
+		fmt.Println("  verification       OK (outputs and memory match native)")
+
+	case "disasm":
+		insts, err := exe.Decode()
+		if err != nil {
+			fatal(err)
+		}
+		for i, in := range insts {
+			addr := exe.CodeBase + uint64(i)*24
+			fmt.Printf("%#x\t%s\n", addr, in)
+		}
+
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: janus <analyze|profile|schedule|run|disasm|list> [flags]`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "janus:", err)
+	os.Exit(1)
+}

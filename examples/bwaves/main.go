@@ -1,0 +1,51 @@
+// bwaves: the paper's speculation showcase. The hot loop calls the
+// shared library's pow() through the PLT, code the static analyser
+// never sees; Janus parallelises it anyway by wrapping each call in a
+// software transaction (figure 5). This example shows the three
+// figure-7 configurations side by side and the transaction statistics.
+//
+//	go run ./examples/bwaves
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"janus"
+	"janus/internal/workloads"
+)
+
+func main() {
+	exe, libs, err := workloads.Build("410.bwaves", workloads.Ref, workloads.O3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainExe, _, err := workloads.Build("410.bwaves", workloads.Train, workloads.O3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(label string, cfg janus.Config) *janus.Report {
+		cfg.Threads = 8
+		cfg.TrainExe = trainExe
+		cfg.Verify = true
+		rep, err := janus.Parallelise(exe, cfg, libs...)
+		if err != nil {
+			log.Fatal(label, ": ", err)
+		}
+		fmt.Printf("%-28s %6.2fx  (%d loops, %d checks, %d tx commits, %d aborts)\n",
+			label, rep.Speedup(), rep.Selected, rep.Stats.ChecksRun,
+			rep.Stats.TxCommits, rep.Stats.TxAborts)
+		return rep
+	}
+	fmt.Println("410.bwaves under the figure-7 configurations, 8 threads:")
+	run("statically-driven", janus.Config{})
+	run("+ profile", janus.Config{UseProfile: true})
+	full := run("+ checks & speculation", janus.Config{UseProfile: true, UseChecks: true})
+
+	if ex := full.Stats; ex.TxStarted > 0 {
+		fmt.Printf("\nspeculation: %d transactions, %d reads / %d writes buffered\n",
+			ex.TxStarted, ex.SpecReads, ex.SpecWrites)
+		fmt.Println("the pow() call writes no shared memory, so no transaction aborts —")
+		fmt.Println("exactly the behaviour the paper reports for bwaves' library call.")
+	}
+}

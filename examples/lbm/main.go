@@ -1,0 +1,40 @@
+// lbm: parallelise the stream-kernel benchmark that spends ~98% of its
+// time in DOALL loops (the paper's best-scaling workload together with
+// libquantum), and show how performance scales with thread count.
+//
+//	go run ./examples/lbm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"janus"
+	"janus/internal/workloads"
+)
+
+func main() {
+	exe, libs, err := workloads.Build("470.lbm", workloads.Ref, workloads.O3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainExe, _, err := workloads.Build("470.lbm", workloads.Train, workloads.O3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("470.lbm thread scaling (full Janus: profile + checks)")
+	fmt.Printf("%8s %12s %9s\n", "threads", "cycles", "speedup")
+	for _, n := range []int{1, 2, 4, 8} {
+		rep, err := janus.Parallelise(exe, janus.Config{
+			Threads:    n,
+			UseProfile: true,
+			UseChecks:  true,
+			TrainExe:   trainExe,
+			Verify:     true,
+		}, libs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %12d %8.2fx\n", n, rep.DBM.Cycles, rep.Speedup())
+	}
+}

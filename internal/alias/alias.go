@@ -1,0 +1,484 @@
+// Package alias performs the memory dependence analysis of the static
+// analyser: it partitions a loop's memory accesses by symbolic array
+// base, computes distance-vector dependence tests within each array,
+// identifies privatisable and main-stack accesses, and emits the
+// symbolic ranges for runtime MEM_BOUNDS_CHECK rules between arrays
+// whose separation cannot be proved statically (paper §II-D and fig. 4).
+package alias
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"janus/internal/guest"
+	"janus/internal/rules"
+	"janus/internal/ssa"
+	"janus/internal/sym"
+)
+
+// Group is a set of accesses sharing a symbolic array base: the same
+// register polynomial (with constant bases folded into BaseConst).
+type Group struct {
+	// Key is the canonical string of the register part of the base.
+	Key string
+	// Base is the invariant symbolic base (register part only; per-
+	// access constants live in the Offsets).
+	Base sym.Expr
+	// Accesses in this group.
+	Accesses []sym.Access
+	// Stride is the common per-iteration stride, valid if UniformStride.
+	Stride        int64
+	UniformStride bool
+	HasWrite      bool
+	HasRead       bool
+}
+
+// SpanOffsets returns the min constant offset and max constant offset +
+// width over the group's accesses.
+func (g *Group) SpanOffsets() (lo, hi int64) {
+	first := true
+	for _, a := range g.Accesses {
+		c := a.Addr.Const
+		if first {
+			lo, hi = c, c+a.Width
+			first = false
+			continue
+		}
+		if c < lo {
+			lo = c
+		}
+		if c+a.Width > hi {
+			hi = c + a.Width
+		}
+	}
+	return lo, hi
+}
+
+// Dep is a proven cross-iteration data dependence.
+type Dep struct {
+	A, B sym.Access
+	Kind string // "flow", "anti/output", "unknown-stride"
+}
+
+// Result is the outcome of dependence analysis for one loop.
+type Result struct {
+	// Groups by symbolic base.
+	Groups []*Group
+	// Deps are statically proven cross-iteration dependences that
+	// privatisation cannot remove.
+	Deps []Dep
+	// Privatisable are stride-0 scalar cells written before read each
+	// iteration; MEM_PRIVATISE removes their WAR/WAW dependences.
+	Privatisable []PrivGroup
+	// MainStackReads are read-only stack accesses needing
+	// MEM_MAIN_STACK redirection in parallel threads.
+	MainStackReads []ssa.InstRef
+	// Unanalyzable are accesses whose address could not be
+	// canonicalised; they force profiling/speculation (type C or D).
+	Unanalyzable []sym.Access
+	// Checks holds the symbolic ranges for a runtime bounds check, one
+	// per group participating in a cross-group pair involving a write.
+	// Empty when all bases were proved distinct or none is writable.
+	Checks []rules.RangeSpec
+	// CheckFailed is set when a cross-group pair existed but a range
+	// was not runtime-computable, so no check can guard the loop.
+	CheckFailed bool
+}
+
+// PrivGroup is one privatisable memory cell.
+type PrivGroup struct {
+	// Addr is the cell's invariant address expression.
+	Addr sym.Expr
+	Size int64
+	Refs []ssa.InstRef
+}
+
+// Analyze runs dependence analysis over la. tripKnown conveys whether
+// la.Trip is available (bounding the distance test).
+func Analyze(la *sym.Analysis) *Result {
+	res := &Result{}
+	groups := map[string]*Group{}
+
+	for _, acc := range la.Accesses {
+		if acc.Addr.Unknown {
+			res.Unanalyzable = append(res.Unanalyzable, acc)
+			continue
+		}
+		key := baseKey(acc.Addr)
+		g := groups[key]
+		if g == nil {
+			base := acc.Addr.Invariant()
+			base.Const = 0
+			g = &Group{Key: key, Base: base, UniformStride: true, Stride: acc.Addr.Iter}
+			groups[key] = g
+		}
+		if acc.Addr.Iter != g.Stride {
+			g.UniformStride = false
+		}
+		if acc.Write {
+			g.HasWrite = true
+		} else {
+			g.HasRead = true
+		}
+		g.Accesses = append(g.Accesses, acc)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		res.Groups = append(res.Groups, groups[k])
+	}
+
+	var tripN int64 = -1 // unknown
+	if la.Trip != nil {
+		if n, ok := la.Trip.IsStatic(); ok {
+			tripN = n
+		}
+	}
+
+	// Within-group dependence tests.
+	for _, g := range res.Groups {
+		analyzeGroup(la, g, tripN, res)
+	}
+
+	// Cross-group: constant bases can be separated statically; symbolic
+	// bases need runtime checks when a write is involved.
+	emitCrossGroupChecks(la, res, tripN)
+
+	// Stack reads: groups whose base is exactly SP and read-only.
+	for _, g := range res.Groups {
+		if isStackBase(g.Base) && !g.HasWrite {
+			for _, a := range g.Accesses {
+				res.MainStackReads = append(res.MainStackReads, a.Ref)
+			}
+		}
+	}
+	return res
+}
+
+func baseKey(e sym.Expr) string {
+	inv := e.Invariant()
+	regs := make([]guest.Reg, 0, len(inv.Regs))
+	for r := range inv.Regs {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	var b strings.Builder
+	for _, r := range regs {
+		fmt.Fprintf(&b, "%s*%d;", r, inv.Regs[r])
+	}
+	if len(regs) == 0 {
+		// Constant bases are comparable exactly; each absolute array is
+		// its own group only through its constant, so group all
+		// constant-based accesses together and let the distance test
+		// separate them.
+		b.WriteString("const")
+	}
+	return b.String()
+}
+
+func isStackBase(e sym.Expr) bool {
+	return len(e.Regs) == 1 && e.Regs[guest.SP] == 1
+}
+
+// analyzeGroup performs the distance-vector test between every
+// write-read and write-write pair in the group. Stride-0 cells are
+// tracked separately so scalar temporaries can be privatised.
+func analyzeGroup(la *sym.Analysis, g *Group, tripN int64, res *Result) {
+	if !g.HasWrite {
+		return
+	}
+	var strided []sym.Access
+	cells := map[int64][]sym.Access{}
+	for _, a := range g.Accesses {
+		if a.Addr.Iter == 0 {
+			cells[a.Addr.Const] = append(cells[a.Addr.Const], a)
+		} else {
+			strided = append(strided, a)
+		}
+	}
+
+	// Strided vs strided.
+	for i := 0; i < len(strided); i++ {
+		for j := i; j < len(strided); j++ {
+			a, b := strided[i], strided[j]
+			if !a.Write && !b.Write {
+				continue
+			}
+			if a.Addr.Iter == b.Addr.Iter {
+				if dep, kind := crossIterDep(a, b, tripN); dep {
+					res.Deps = append(res.Deps, Dep{A: a, B: b, Kind: kind})
+				}
+			} else if !sweptDisjoint(a, b, tripN) {
+				res.Deps = append(res.Deps, Dep{A: a, B: b, Kind: "mixed-stride"})
+			}
+		}
+	}
+
+	// Cells vs strided, and cells vs other cells.
+	conflicted := map[int64]bool{}
+	offs := make([]int64, 0, len(cells))
+	for off := range cells {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for _, off := range offs {
+		cellW := maxWidth(cells[off])
+		cellWrites := anyWrite(cells[off])
+		for _, sacc := range strided {
+			if !cellWrites && !sacc.Write {
+				continue
+			}
+			cell := sym.Access{Addr: sym.Expr{Const: off}, Width: cellW, Write: cellWrites}
+			if !sweptDisjoint(cell, sacc, tripN) {
+				conflicted[off] = true
+				res.Deps = append(res.Deps, Dep{A: cells[off][0], B: sacc, Kind: "cell-array"})
+			}
+		}
+		for _, other := range offs {
+			if other == off {
+				continue
+			}
+			if overlap(off, cellW, other, maxWidth(cells[other])) && (cellWrites || anyWrite(cells[other])) {
+				conflicted[off] = true
+			}
+		}
+	}
+
+	// Privatisation or carried flow for unconflicted write cells.
+	for _, off := range offs {
+		if conflicted[off] || !anyWrite(cells[off]) {
+			continue
+		}
+		if writeDominatesReads(la, cells[off]) {
+			pg := PrivGroup{Addr: cells[off][0].Addr.Invariant(), Size: maxWidth(cells[off])}
+			for _, a := range cells[off] {
+				pg.Refs = append(pg.Refs, a.Ref)
+			}
+			res.Privatisable = append(res.Privatisable, pg)
+		} else {
+			res.Deps = append(res.Deps, Dep{A: cells[off][0], B: cells[off][len(cells[off])-1], Kind: "flow"})
+		}
+	}
+}
+
+func anyWrite(accs []sym.Access) bool {
+	for _, a := range accs {
+		if a.Write {
+			return true
+		}
+	}
+	return false
+}
+
+// sweptDisjoint proves the full iteration-space footprints of two
+// accesses (relative to the shared base) do not overlap. With an
+// unknown trip count, strided footprints are unbounded and nothing can
+// be proved.
+func sweptDisjoint(a, b sym.Access, tripN int64) bool {
+	if tripN < 0 && (a.Addr.Iter != 0 || b.Addr.Iter != 0) {
+		return false
+	}
+	aLo, aHi := footprint(a, tripN)
+	bLo, bHi := footprint(b, tripN)
+	return aHi <= bLo || bHi <= aLo
+}
+
+// footprint returns [lo, hi) of access a over iterations [0, N).
+func footprint(a sym.Access, tripN int64) (int64, int64) {
+	c, s, w := a.Addr.Const, a.Addr.Iter, a.Width
+	if s == 0 || tripN <= 0 {
+		return c, c + w
+	}
+	span := s * (tripN - 1)
+	if span < 0 {
+		return c + span, c + w
+	}
+	return c, c + span + w
+}
+
+// crossIterDep solves whether addresses a (iteration i1) and b
+// (iteration i2) can touch overlapping bytes with i1 != i2, both within
+// [0, N). Addresses share the same symbolic base, so only constants and
+// strides matter.
+func crossIterDep(a, b sym.Access, tripN int64) (bool, string) {
+	sa, sb := a.Addr.Iter, b.Addr.Iter
+	da := a.Addr.Const
+	db := b.Addr.Const
+	if sa != sb {
+		// Differing strides over the same base: solve exactly only for
+		// the easy case sa == 0 || sb == 0 with const distance; be
+		// conservative otherwise.
+		if sa == 0 || sb == 0 {
+			// One side fixed: the strided side sweeps; overlap almost
+			// always possible unless ranges provably disjoint. Be
+			// conservative.
+			return true, "mixed-stride"
+		}
+		return true, "unknown-stride"
+	}
+	s := sa
+	if s == 0 {
+		// Same cell each iteration.
+		if overlap(da, a.Width, db, b.Width) {
+			return true, "same-cell"
+		}
+		return false, ""
+	}
+	// Need integer k = i1 - i2 != 0 with -wb < (da - db) + s*k < wa
+	// and |k| < N when N is known.
+	d := da - db
+	// k in ((-wb - d)/s, (wa - d)/s) for s > 0 (reversed for s < 0).
+	lo, hi := intervalDiv(-b.Width-d+1, a.Width-d-1, s)
+	for k := lo; k <= hi; k++ {
+		if k == 0 {
+			continue
+		}
+		if tripN >= 0 && (k >= tripN || k <= -tripN) {
+			continue
+		}
+		v := d + s*k
+		if v > -b.Width && v < a.Width {
+			return true, "distance"
+		}
+	}
+	return false, ""
+}
+
+// intervalDiv returns the integer k-range to scan for solutions of
+// numLo <= s*k <= numHi.
+func intervalDiv(numLo, numHi, s int64) (int64, int64) {
+	if s < 0 {
+		numLo, numHi, s = -numHi, -numLo, -s
+	}
+	lo := floorDiv(numLo, s)
+	hi := floorDiv(numHi, s) + 1
+	// Clamp the scan to a sane window; strides and widths are small.
+	if hi-lo > 64 {
+		hi = lo + 64
+	}
+	return lo, hi
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func overlap(a int64, wa int64, b int64, wb int64) bool {
+	return a < b+wb && b < a+wa
+}
+
+func maxWidth(accs []sym.Access) int64 {
+	var w int64
+	for _, a := range accs {
+		if a.Width > w {
+			w = a.Width
+		}
+	}
+	return w
+}
+
+// writeDominatesReads reports whether some write to the cell dominates
+// every read of it within the loop (so each iteration writes before
+// reading: WAR/WAW only, removable by privatisation).
+func writeDominatesReads(la *sym.Analysis, accs []sym.Access) bool {
+	fn := la.Loop.Fn
+	var writes []ssa.InstRef
+	for _, a := range accs {
+		if a.Write {
+			writes = append(writes, a.Ref)
+		}
+	}
+	for _, a := range accs {
+		if a.Write {
+			continue
+		}
+		covered := false
+		for _, w := range writes {
+			if w.Block == a.Ref.Block && w.Idx < a.Ref.Idx {
+				covered = true
+				break
+			}
+			if w.Block != a.Ref.Block && fn.Dominates(w.Block, a.Ref.Block) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// emitCrossGroupChecks builds the MEM_BOUNDS_CHECK ranges for arrays
+// whose separation is not statically provable.
+func emitCrossGroupChecks(la *sym.Analysis, res *Result, tripN int64) {
+	// Collect groups with symbolic (register) bases plus the constant
+	// group; checks are needed between any write group and any other
+	// group unless both bases are constant (then the distance test above
+	// already decided).
+	var symbolic []*Group
+	for _, g := range res.Groups {
+		if isStackBase(g.Base) {
+			continue
+		}
+		if len(g.Base.Regs) > 0 {
+			symbolic = append(symbolic, g)
+		}
+	}
+	if len(symbolic) == 0 {
+		return
+	}
+	needsCheck := false
+	for i, g := range symbolic {
+		if g.HasWrite {
+			// Against every other group (symbolic or constant).
+			if len(res.Groups) > 1 || len(g.Accesses) < len(la.Accesses) {
+				needsCheck = true
+			}
+		}
+		for j := i + 1; j < len(symbolic); j++ {
+			if g.HasWrite || symbolic[j].HasWrite {
+				needsCheck = true
+			}
+		}
+	}
+	if !needsCheck {
+		return
+	}
+	// Trip must be computable at runtime for the ranges to close.
+	if la.Trip == nil || la.Trip.Num.Unknown {
+		res.CheckFailed = true
+		return
+	}
+	_ = tripN
+	for _, g := range res.Groups {
+		if isStackBase(g.Base) {
+			continue
+		}
+		if !g.UniformStride {
+			res.CheckFailed = true
+			return
+		}
+		if g.Base.Unknown {
+			res.CheckFailed = true
+			return
+		}
+		lo, hi := g.SpanOffsets()
+		res.Checks = append(res.Checks, rules.RangeSpec{
+			Write:  g.HasWrite,
+			Base:   g.Base,
+			Stride: g.Stride,
+			LoOff:  lo,
+			HiOff:  hi,
+		})
+	}
+}

@@ -1,0 +1,256 @@
+package alias
+
+import (
+	"testing"
+
+	"janus/internal/asm"
+	"janus/internal/cfg"
+	"janus/internal/guest"
+	"janus/internal/ssa"
+	"janus/internal/sym"
+)
+
+func analyze(t *testing.T, build func(f *asm.FuncBuilder)) (*sym.Analysis, *Result) {
+	t.Helper()
+	b := asm.NewBuilder("t")
+	b.Data("a", 8*4096)
+	b.Data("b", 8*4096)
+	f := b.Func("main")
+	build(f)
+	exe, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.FuncByAddr[exe.Entry]
+	if len(main.Loops) == 0 {
+		t.Fatal("no loops")
+	}
+	la := sym.Analyze(main.Loops[0], ssa.Build(main))
+	return la, Analyze(la)
+}
+
+// loopHeaderWith emits the standard counting-loop prologue/epilogue and
+// calls body for the loop body instructions.
+func loopHeaderWith(f *asm.FuncBuilder, n int64, body func()) {
+	loop, done := f.NewLabel(), f.NewLabel()
+	f.Movi(guest.R1, 0)
+	f.Bind(loop)
+	f.Cmpi(guest.R1, n)
+	f.J(guest.JGE, done)
+	body()
+	f.OpI(guest.ADDI, guest.R1, 1)
+	f.J(guest.JMP, loop)
+	f.Bind(done)
+	f.Halt()
+}
+
+func TestIndependentArraysNoDeps(t *testing.T) {
+	// b[i] = a[i] with constant (static) bases: provably independent.
+	_, res := analyze(t, func(f *asm.FuncBuilder) {
+		f.MoviData(guest.R8, "a", 0)
+		f.MoviData(guest.R9, "b", 0)
+		loopHeaderWith(f, 1024, func() {
+			f.Ld(guest.R3, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8})
+			f.St(guest.Mem{Base: guest.R9, Index: guest.R1, Scale: 8}, guest.R3)
+		})
+	})
+	if len(res.Deps) != 0 {
+		t.Fatalf("false dependences: %v", res.Deps)
+	}
+	if len(res.Checks) != 0 {
+		t.Fatalf("constant bases should not need checks: %v", res.Checks)
+	}
+}
+
+func TestInPlaceUpdateNoCrossIterDep(t *testing.T) {
+	// a[i] = a[i] * 2: same cell, same iteration — DOALL.
+	_, res := analyze(t, func(f *asm.FuncBuilder) {
+		f.MoviData(guest.R8, "a", 0)
+		loopHeaderWith(f, 512, func() {
+			f.Ld(guest.R3, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8})
+			f.OpI(guest.IMULI, guest.R3, 2)
+			f.St(guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8}, guest.R3)
+		})
+	})
+	if len(res.Deps) != 0 {
+		t.Fatalf("in-place update misclassified: %v", res.Deps)
+	}
+}
+
+func TestLoopCarriedStencilDetected(t *testing.T) {
+	// a[i] = a[i-1]: flow dependence at distance 1.
+	_, res := analyze(t, func(f *asm.FuncBuilder) {
+		f.MoviData(guest.R8, "a", 0)
+		loopHeaderWith(f, 512, func() {
+			f.Ld(guest.R3, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8, Disp: 0})
+			f.St(guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8, Disp: 8}, guest.R3)
+		})
+	})
+	if len(res.Deps) == 0 {
+		t.Fatal("distance-1 dependence missed")
+	}
+}
+
+func TestFarApartOffsetsNoDep(t *testing.T) {
+	// Writes at a[i] and reads at a[i + 2048] with N=512: distance 2048
+	// exceeds the iteration range, no dependence.
+	_, res := analyze(t, func(f *asm.FuncBuilder) {
+		f.MoviData(guest.R8, "a", 0)
+		loopHeaderWith(f, 512, func() {
+			f.Ld(guest.R3, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8, Disp: 8 * 2048})
+			f.St(guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8}, guest.R3)
+		})
+	})
+	if len(res.Deps) != 0 {
+		t.Fatalf("trip-bounded distance test failed: %v", res.Deps)
+	}
+}
+
+func TestRuntimeBasesNeedChecks(t *testing.T) {
+	// Bases come from memory (opaque pointers): checks required.
+	_, res := analyze(t, func(f *asm.FuncBuilder) {
+		f.LdData(guest.R8, "a", 0) // runtime pointer
+		f.LdData(guest.R9, "b", 0)
+		loopHeaderWith(f, 512, func() {
+			f.Ld(guest.R3, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8})
+			f.St(guest.Mem{Base: guest.R9, Index: guest.R1, Scale: 8}, guest.R3)
+		})
+	})
+	if len(res.Checks) != 2 {
+		t.Fatalf("want 2 range specs, got %d (failed=%v)", len(res.Checks), res.CheckFailed)
+	}
+	var wr, rd int
+	for _, c := range res.Checks {
+		if c.Write {
+			wr++
+		} else {
+			rd++
+		}
+	}
+	if wr != 1 || rd != 1 {
+		t.Fatalf("check roles wrong: %d writes %d reads", wr, rd)
+	}
+	// Interval evaluation: r8=0x10000, r9=0x20000, N=512 — disjoint.
+	regs := func(r guest.Reg) uint64 {
+		switch r {
+		case guest.R8:
+			return 0x10000
+		case guest.R9:
+			return 0x20000
+		}
+		return 0
+	}
+	lo0, hi0 := res.Checks[0].Interval(regs, 512)
+	lo1, hi1 := res.Checks[1].Interval(regs, 512)
+	if hi0-lo0 != 512*8 || hi1-lo1 != 512*8 {
+		t.Fatalf("interval sizes: [%d,%d) [%d,%d)", lo0, hi0, lo1, hi1)
+	}
+	if lo0 < hi1 && lo1 < hi0 {
+		t.Fatal("intervals should be disjoint for these registers")
+	}
+}
+
+func TestScalarPrivatisation(t *testing.T) {
+	// tmp (a fixed cell) is written then read every iteration: WAR/WAW
+	// removable by privatisation.
+	_, res := analyze(t, func(f *asm.FuncBuilder) {
+		f.MoviData(guest.R8, "a", 0)
+		loopHeaderWith(f, 128, func() {
+			f.Ld(guest.R3, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8})
+			f.StData("b", 0, guest.R3)     // tmp = a[i]  (write first)
+			f.LdData(guest.R4, "b", 0)     // use tmp
+			f.OpI(guest.ADDI, guest.R4, 1) //
+			f.St(guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8}, guest.R4)
+		})
+	})
+	if len(res.Privatisable) != 1 {
+		t.Fatalf("privatisable cells: %d (deps=%v)", len(res.Privatisable), res.Deps)
+	}
+	if len(res.Deps) != 0 {
+		t.Fatalf("privatisable cell should carry no dep: %v", res.Deps)
+	}
+	if res.Privatisable[0].Size != 8 || len(res.Privatisable[0].Refs) != 2 {
+		t.Fatalf("priv group: %+v", res.Privatisable[0])
+	}
+}
+
+func TestScalarCarriedFlowDetected(t *testing.T) {
+	// acc cell is read then written: genuine cross-iteration flow.
+	_, res := analyze(t, func(f *asm.FuncBuilder) {
+		f.MoviData(guest.R8, "a", 0)
+		loopHeaderWith(f, 128, func() {
+			f.LdData(guest.R3, "b", 0) // read previous value
+			f.Ld(guest.R4, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8})
+			f.Op(guest.ADD, guest.R3, guest.R4)
+			f.StData("b", 0, guest.R3) // write new value
+		})
+	})
+	if len(res.Privatisable) != 0 {
+		t.Fatal("carried scalar wrongly privatised")
+	}
+	if len(res.Deps) == 0 {
+		t.Fatal("carried scalar flow dependence missed")
+	}
+}
+
+func TestOpaqueAccessReported(t *testing.T) {
+	_, res := analyze(t, func(f *asm.FuncBuilder) {
+		f.MoviData(guest.R8, "a", 0)
+		loopHeaderWith(f, 64, func() {
+			f.Ld(guest.R4, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8})
+			f.Ld(guest.R5, guest.Mem{Base: guest.R4, Index: guest.RegNone, Scale: 1})
+			f.St(guest.Mem{Base: guest.R4, Index: guest.RegNone, Scale: 1}, guest.R5)
+		})
+	})
+	if len(res.Unanalyzable) != 2 {
+		t.Fatalf("opaque accesses: %d", len(res.Unanalyzable))
+	}
+}
+
+func TestVectorAccessWidths(t *testing.T) {
+	// Vector store sweeping 32 bytes per iteration with stride 32.
+	_, res := analyze(t, func(f *asm.FuncBuilder) {
+		f.MoviData(guest.R8, "a", 0)
+		f.MoviData(guest.R9, "b", 0)
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.Movi(guest.R1, 0)
+		f.Bind(loop)
+		f.Cmpi(guest.R1, 4096)
+		f.J(guest.JGE, done)
+		f.I(guest.NewInstM(guest.VLD, 0, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8}))
+		f.I(guest.NewInstM(guest.VST, 0, guest.Mem{Base: guest.R9, Index: guest.R1, Scale: 8}))
+		f.OpI(guest.ADDI, guest.R1, 4)
+		f.J(guest.JMP, loop)
+		f.Bind(done)
+		f.Halt()
+	})
+	if len(res.Deps) != 0 {
+		t.Fatalf("vector copy misclassified: %v", res.Deps)
+	}
+	for _, g := range res.Groups {
+		if g.Stride != 32 {
+			t.Fatalf("vector stride = %d, want 32", g.Stride)
+		}
+	}
+}
+
+func TestOverlapHelper(t *testing.T) {
+	if !overlap(0, 8, 4, 8) || overlap(0, 8, 8, 8) || !overlap(4, 8, 0, 8) {
+		t.Fatal("overlap() broken")
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {7, -2, -4}, {-7, -2, 3}, {8, 2, 4}, {-8, 2, -4},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package asm
+
+import (
+	"testing"
+
+	"janus/internal/guest"
+	"janus/internal/obj"
+)
+
+func TestLabelResolution(t *testing.T) {
+	b := NewBuilder("labels")
+	f := b.Func("main")
+	skip := f.NewLabel()
+	f.J(guest.JMP, skip)
+	f.Nop()
+	f.Nop()
+	f.Bind(skip)
+	f.Halt()
+	exe, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, _ := exe.Decode()
+	if insts[0].Op != guest.JMP {
+		t.Fatal("first inst not JMP")
+	}
+	want := exe.CodeBase + 3*guest.InstSize
+	if uint64(insts[0].Imm) != want {
+		t.Fatalf("jump target %#x, want %#x", insts[0].Imm, want)
+	}
+}
+
+func TestUnboundLabelFails(t *testing.T) {
+	b := NewBuilder("bad")
+	f := b.Func("main")
+	l := f.NewLabel()
+	f.J(guest.JMP, l) // never bound
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unbound label must fail")
+	}
+}
+
+func TestUndefinedCallFails(t *testing.T) {
+	b := NewBuilder("bad")
+	f := b.Func("main")
+	f.Call("missing")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined call must fail")
+	}
+}
+
+func TestUndefinedDataFails(t *testing.T) {
+	b := NewBuilder("bad")
+	f := b.Func("main")
+	f.MoviData(guest.R1, "nodata", 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined data must fail")
+	}
+}
+
+func TestDataLayout(t *testing.T) {
+	b := NewBuilder("data")
+	a1 := b.Data("a", 64)
+	a2 := b.DataI64("b", []int64{1, 2, 3})
+	a3 := b.DataF64("c", []float64{1.5})
+	if a1 != obj.DefaultDataBase {
+		t.Fatalf("first array at %#x", a1)
+	}
+	if a2 != a1+64 || a3 != a2+24 {
+		t.Fatalf("layout: %#x %#x %#x", a1, a2, a3)
+	}
+	if b.DataAddr("b") != a2 {
+		t.Fatal("DataAddr broken")
+	}
+	f := b.Func("main")
+	f.Halt()
+	exe, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initialised values present in the image.
+	if got := exe.Data[a2-obj.DefaultDataBase]; got != 1 {
+		t.Fatalf("data[0] of b = %d", got)
+	}
+}
+
+func TestEntryIsMain(t *testing.T) {
+	b := NewBuilder("entry")
+	h := b.Func("helper")
+	h.Ret()
+	m := b.Func("main")
+	m.Halt()
+	exe, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, ok := exe.SymbolByName("main")
+	if !ok || exe.Entry != sym.Addr {
+		t.Fatalf("entry %#x, main at %#x", exe.Entry, sym.Addr)
+	}
+}
+
+func TestImportsCreatePLTStubs(t *testing.T) {
+	b := NewBuilder("plt")
+	b.Import("pow")
+	b.Import("pow") // deduplicated
+	b.Import("exp")
+	f := b.Func("main")
+	f.Call("pow")
+	f.Call("exp")
+	f.Halt()
+	exe, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exe.Imports) != 2 {
+		t.Fatalf("imports: %v", exe.Imports)
+	}
+	// The PLT stubs live past the functions, inside the code section.
+	for _, im := range exe.Imports {
+		if !exe.InCode(im.PLT) {
+			t.Fatalf("PLT %#x outside code", im.PLT)
+		}
+		if _, ok := exe.ImportAt(im.PLT); !ok {
+			t.Fatal("ImportAt broken")
+		}
+	}
+}
+
+func TestLibraryRelocation(t *testing.T) {
+	b := NewBuilder("lib")
+	f := b.Func("f")
+	l := f.NewLabel()
+	f.Bind(l)
+	f.Call("g")
+	f.J(guest.JMP, l)
+	g := b.Func("g")
+	g.Ret()
+	lib, err := b.BuildLibrary(0x7f00_0000_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := lib.SymbolByName("g"); !ok || !lib.InCode(s.Addr) {
+		t.Fatal("library symbol table broken")
+	}
+	// The CALL must target g's library address.
+	insts, err := guest.DecodeAll(lib.Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsym, _ := lib.SymbolByName("g")
+	if uint64(insts[0].Imm) != gsym.Addr {
+		t.Fatalf("lib call target %#x, want %#x", insts[0].Imm, gsym.Addr)
+	}
+}
+
+func TestLibraryRejectsData(t *testing.T) {
+	b := NewBuilder("lib")
+	b.Data("d", 8)
+	f := b.Func("f")
+	f.LdData(guest.R1, "d", 0)
+	f.Ret()
+	if _, err := b.BuildLibrary(0x7f00_0000_0000); err == nil {
+		t.Fatal("library data relocation must fail")
+	}
+}
+
+func TestFuncBuilderLen(t *testing.T) {
+	b := NewBuilder("len")
+	f := b.Func("main")
+	if f.Len() != 0 {
+		t.Fatal("fresh function not empty")
+	}
+	f.Nop()
+	f.Halt()
+	if f.Len() != 2 {
+		t.Fatalf("len %d", f.Len())
+	}
+	// Func returns the same builder for the same name.
+	if b.Func("main") != f {
+		t.Fatal("Func not idempotent")
+	}
+}
+
+func TestEmptyProgramFails(t *testing.T) {
+	b := NewBuilder("empty")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("empty program must fail")
+	}
+}

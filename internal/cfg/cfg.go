@@ -1,0 +1,437 @@
+// Package cfg recovers control-flow structure from a raw executable:
+// function discovery (from symbols when present, or from the entry point
+// and call targets when stripped), basic blocks, control-flow graphs,
+// dominator trees, natural loops and the loop nesting forest, and a call
+// graph. It is the front half of the Janus static binary analyser.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"janus/internal/guest"
+	"janus/internal/obj"
+)
+
+// Block is a basic block: a maximal straight-line instruction sequence.
+type Block struct {
+	// Addr is the address of the first instruction.
+	Addr uint64
+	// Insts are the decoded instructions; instruction i is at
+	// Addr + i*guest.InstSize.
+	Insts []guest.Inst
+	// Succs and Preds are CFG edges within the enclosing function.
+	Succs []*Block
+	Preds []*Block
+	// Index is the block's position in Func.Blocks.
+	Index int
+	// Fn is the enclosing function.
+	Fn *Func
+}
+
+// InstAddr returns the address of instruction i in the block.
+func (b *Block) InstAddr(i int) uint64 { return b.Addr + uint64(i*guest.InstSize) }
+
+// End returns the first address past the block.
+func (b *Block) End() uint64 { return b.Addr + uint64(len(b.Insts)*guest.InstSize) }
+
+// Last returns the final instruction of the block.
+func (b *Block) Last() guest.Inst { return b.Insts[len(b.Insts)-1] }
+
+// Func is a recovered function.
+type Func struct {
+	Name  string
+	Entry *Block
+	// Blocks in reverse postorder from the entry.
+	Blocks []*Block
+	// BlockAt maps a code address to the block starting there.
+	BlockAt map[uint64]*Block
+	// Calls lists direct call targets (addresses, may include PLT stubs).
+	Calls []uint64
+	// HasIndirect is set when the function contains an indirect jump or
+	// call whose targets cannot be determined statically.
+	HasIndirect bool
+	// HasSyscall is set when the function executes syscalls directly.
+	HasSyscall bool
+	// idom[i] is the immediate dominator of Blocks[i] (nil for entry).
+	idom []*Block
+	// Loops in this function, outermost first within each nest.
+	Loops []*Loop
+}
+
+// Program is the CFG-level view of an executable.
+type Program struct {
+	Exe        *obj.Executable
+	Funcs      []*Func
+	FuncByAddr map[uint64]*Func
+	// PLTNames maps a PLT stub address to the imported symbol name.
+	PLTNames map[uint64]string
+}
+
+// Build disassembles the executable and recovers functions, blocks,
+// dominators, loops and the call graph. It works for stripped binaries:
+// function starts are then discovered from the entry point and direct
+// call targets, the same information the paper's analyser relies on.
+func Build(exe *obj.Executable) (*Program, error) {
+	insts, err := exe.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("cfg: %w", err)
+	}
+	p := &Program{
+		Exe:        exe,
+		FuncByAddr: make(map[uint64]*Func),
+		PLTNames:   make(map[uint64]string),
+	}
+	for _, im := range exe.Imports {
+		p.PLTNames[im.PLT] = im.Name
+	}
+
+	instAt := func(addr uint64) (guest.Inst, bool) {
+		if !exe.InCode(addr) || (addr-exe.CodeBase)%guest.InstSize != 0 {
+			return guest.Inst{}, false
+		}
+		return insts[(addr-exe.CodeBase)/guest.InstSize], true
+	}
+
+	// Seed function starts.
+	starts := map[uint64]string{exe.Entry: "entry"}
+	if !exe.Stripped {
+		for _, s := range exe.FuncSymbols() {
+			if _, isPLT := p.PLTNames[s.Addr]; !isPLT {
+				starts[s.Addr] = s.Name
+			}
+		}
+	}
+	// Iteratively add direct call targets until fixpoint.
+	work := make([]uint64, 0, len(starts))
+	for a := range starts {
+		work = append(work, a)
+	}
+	seenFuncs := map[uint64]bool{}
+	for len(work) > 0 {
+		fa := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seenFuncs[fa] {
+			continue
+		}
+		seenFuncs[fa] = true
+		if _, isPLT := p.PLTNames[fa]; isPLT {
+			continue
+		}
+		for _, target := range scanCalls(fa, instAt, p.PLTNames) {
+			if _, ok := starts[target]; !ok {
+				starts[target] = fmt.Sprintf("fn_%x", target)
+			}
+			work = append(work, target)
+		}
+	}
+
+	addrs := make([]uint64, 0, len(starts))
+	for a := range starts {
+		if _, isPLT := p.PLTNames[a]; !isPLT {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, fa := range addrs {
+		name := starts[fa]
+		if sym, ok := symbolAt(exe, fa); ok {
+			name = sym
+		}
+		fn, err := buildFunc(name, fa, instAt, p.PLTNames)
+		if err != nil {
+			return nil, err
+		}
+		p.Funcs = append(p.Funcs, fn)
+		p.FuncByAddr[fa] = fn
+	}
+	for _, fn := range p.Funcs {
+		computeDominators(fn)
+		findLoops(fn)
+	}
+	return p, nil
+}
+
+func symbolAt(exe *obj.Executable, addr uint64) (string, bool) {
+	for _, s := range exe.Symbols {
+		if s.Kind == obj.SymFunc && s.Addr == addr {
+			return s.Name, true
+		}
+	}
+	return "", false
+}
+
+// scanCalls walks reachable instructions from fa and collects direct
+// call targets that are not PLT stubs.
+func scanCalls(fa uint64, instAt func(uint64) (guest.Inst, bool), plt map[uint64]string) []uint64 {
+	var targets []uint64
+	seen := map[uint64]bool{}
+	work := []uint64{fa}
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		in, ok := instAt(a)
+		if !ok {
+			continue
+		}
+		next := a + guest.InstSize
+		switch {
+		case in.Op == guest.CALL:
+			if _, isPLT := plt[uint64(in.Imm)]; !isPLT {
+				targets = append(targets, uint64(in.Imm))
+			}
+			work = append(work, next)
+		case in.Op == guest.JMP:
+			work = append(work, uint64(in.Imm))
+		case in.Op.IsCondBranch():
+			work = append(work, uint64(in.Imm), next)
+		case in.Op == guest.RET, in.Op == guest.HALT, in.Op == guest.JMPI:
+			// stop
+		default:
+			work = append(work, next)
+		}
+	}
+	return targets
+}
+
+// buildFunc discovers the blocks reachable from fa and links the CFG.
+func buildFunc(name string, fa uint64, instAt func(uint64) (guest.Inst, bool), plt map[uint64]string) (*Func, error) {
+	fn := &Func{Name: name, BlockAt: make(map[uint64]*Block)}
+
+	// Pass 1: find reachable instruction addresses and block leaders.
+	leaders := map[uint64]bool{fa: true}
+	reachable := map[uint64]bool{}
+	var callTargets []uint64
+	work := []uint64{fa}
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		if reachable[a] {
+			continue
+		}
+		in, ok := instAt(a)
+		if !ok {
+			// Fall-through into undecodable bytes (section end, data
+			// padding): terminate the path, as a disassembler would.
+			continue
+		}
+		reachable[a] = true
+		next := a + guest.InstSize
+		switch {
+		case in.Op == guest.JMP:
+			leaders[uint64(in.Imm)] = true
+			work = append(work, uint64(in.Imm))
+		case in.Op.IsCondBranch():
+			leaders[uint64(in.Imm)] = true
+			leaders[next] = true
+			work = append(work, uint64(in.Imm), next)
+		case in.Op.IsCall():
+			if in.Op == guest.CALL {
+				callTargets = append(callTargets, uint64(in.Imm))
+			} else {
+				fn.HasIndirect = true
+			}
+			// A call ends the block; execution resumes at next.
+			leaders[next] = true
+			work = append(work, next)
+		case in.Op == guest.RET || in.Op == guest.HALT:
+			// stop
+		case in.Op == guest.JMPI:
+			fn.HasIndirect = true
+			// Unknown targets: stop exploration on this path.
+		default:
+			if in.Op == guest.SYSCALL {
+				fn.HasSyscall = true
+			}
+			work = append(work, next)
+		}
+	}
+	fn.Calls = callTargets
+
+	// Pass 2: materialise blocks between leaders.
+	leaderList := make([]uint64, 0, len(leaders))
+	for a := range leaders {
+		if reachable[a] {
+			leaderList = append(leaderList, a)
+		}
+	}
+	sort.Slice(leaderList, func(i, j int) bool { return leaderList[i] < leaderList[j] })
+	for _, la := range leaderList {
+		b := &Block{Addr: la, Fn: fn}
+		for a := la; reachable[a]; a += guest.InstSize {
+			if a != la && leaders[a] {
+				break
+			}
+			in, _ := instAt(a)
+			b.Insts = append(b.Insts, in)
+			if in.Op.IsBlockEnd() {
+				break
+			}
+		}
+		if len(b.Insts) == 0 {
+			continue
+		}
+		fn.BlockAt[la] = b
+	}
+
+	// Pass 3: successor edges.
+	for _, b := range fn.BlockAt {
+		last := b.Last()
+		link := func(target uint64) {
+			if t, ok := fn.BlockAt[target]; ok {
+				b.Succs = append(b.Succs, t)
+				t.Preds = append(t.Preds, b)
+			}
+		}
+		switch {
+		case last.Op == guest.JMP:
+			link(uint64(last.Imm))
+		case last.Op.IsCondBranch():
+			link(b.End()) // fall-through first
+			link(uint64(last.Imm))
+		case last.Op.IsCall():
+			link(b.End()) // calls return to the next block
+		case last.Op == guest.RET, last.Op == guest.HALT, last.Op == guest.JMPI:
+			// no intra-procedural successors
+		default:
+			link(b.End())
+		}
+	}
+
+	entry, ok := fn.BlockAt[fa]
+	if !ok {
+		return nil, fmt.Errorf("cfg: %s: entry block missing", name)
+	}
+	fn.Entry = entry
+	fn.Blocks = reversePostorder(entry)
+	for i, b := range fn.Blocks {
+		b.Index = i
+	}
+	return fn, nil
+}
+
+func reversePostorder(entry *Block) []*Block {
+	var order []*Block
+	seen := map[*Block]bool{}
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		order = append(order, b)
+	}
+	dfs(entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// computeDominators fills fn.idom using the Cooper-Harvey-Kennedy
+// iterative algorithm over reverse postorder.
+func computeDominators(fn *Func) {
+	n := len(fn.Blocks)
+	fn.idom = make([]*Block, n)
+	if n == 0 {
+		return
+	}
+	fn.idom[0] = fn.Entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range fn.Blocks[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if fn.idom[p.Index] == nil && p != fn.Entry {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(fn, p, newIdom)
+				}
+			}
+			if newIdom != nil && fn.idom[b.Index] != newIdom {
+				fn.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func intersect(fn *Func, a, b *Block) *Block {
+	for a != b {
+		for a.Index > b.Index {
+			a = fn.idom[a.Index]
+		}
+		for b.Index > a.Index {
+			b = fn.idom[b.Index]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b (nil for the entry block).
+func (fn *Func) Idom(b *Block) *Block {
+	if b == fn.Entry {
+		return nil
+	}
+	return fn.idom[b.Index]
+}
+
+// Dominates reports whether a dominates b (reflexive).
+func (fn *Func) Dominates(a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == fn.Entry || b == nil {
+			return false
+		}
+		b = fn.idom[b.Index]
+		if b == nil {
+			return false
+		}
+	}
+}
+
+// DominanceFrontier computes the dominance frontier of every block,
+// needed for SSA phi placement.
+func (fn *Func) DominanceFrontier() map[*Block][]*Block {
+	df := make(map[*Block][]*Block, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			runner := p
+			for runner != nil && runner != fn.idom[b.Index] {
+				if !contains(df[runner], b) {
+					df[runner] = append(df[runner], b)
+				}
+				if runner == fn.Entry {
+					break
+				}
+				runner = fn.idom[runner.Index]
+			}
+		}
+	}
+	return df
+}
+
+func contains(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package cfg
+
+import (
+	"sort"
+
+	"janus/internal/guest"
+)
+
+// Loop is a natural loop discovered from a back edge whose target
+// dominates its source.
+type Loop struct {
+	// ID is unique within the program once assigned by the analyser.
+	ID int
+	Fn *Func
+	// Header is the single entry block of the loop.
+	Header *Block
+	// Body is the set of blocks in the loop, including the header.
+	Body map[*Block]bool
+	// Latches are the blocks with a back edge to the header.
+	Latches []*Block
+	// Exits are blocks inside the loop with a successor outside.
+	Exits []*Block
+	// ExitTargets are the first blocks outside the loop reached from exits.
+	ExitTargets []*Block
+	// Parent is the innermost enclosing loop (nil for top level).
+	Parent *Loop
+	// Children are the directly nested loops.
+	Children []*Loop
+	// Depth is 1 for outermost loops.
+	Depth int
+	// CallTargets are direct call target addresses made inside the loop.
+	CallTargets []uint64
+	// HasIndirect is set if the loop body contains indirect control flow.
+	HasIndirect bool
+}
+
+// Blocks returns the loop body sorted by address, header first.
+func (l *Loop) Blocks() []*Block {
+	out := make([]*Block, 0, len(l.Body))
+	for b := range l.Body {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i] == l.Header {
+			return true
+		}
+		if out[j] == l.Header {
+			return false
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// Contains reports whether block b belongs to the loop body.
+func (l *Loop) Contains(b *Block) bool { return l.Body[b] }
+
+// InstCount returns the static number of instructions in the loop body.
+func (l *Loop) InstCount() int {
+	n := 0
+	for b := range l.Body {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// Outermost returns the root of this loop's nest.
+func (l *Loop) Outermost() *Loop {
+	for l.Parent != nil {
+		l = l.Parent
+	}
+	return l
+}
+
+// findLoops discovers natural loops in fn and builds the nesting forest.
+// Loops sharing a header are merged, as is conventional.
+func findLoops(fn *Func) {
+	byHeader := map[*Block]*Loop{}
+	for _, b := range fn.Blocks {
+		for _, s := range b.Succs {
+			if fn.Dominates(s, b) {
+				// Back edge b -> s.
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Fn: fn, Header: s, Body: map[*Block]bool{s: true}}
+					byHeader[s] = l
+				}
+				l.Latches = append(l.Latches, b)
+				collectBody(l, b)
+			}
+		}
+	}
+	var loops []*Loop
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header.Addr < loops[j].Header.Addr })
+
+	// Exits, calls and indirection.
+	for _, l := range loops {
+		for _, b := range l.Blocks() {
+			isExit := false
+			for _, s := range b.Succs {
+				if !l.Body[s] {
+					isExit = true
+					if !containsBlock(l.ExitTargets, s) {
+						l.ExitTargets = append(l.ExitTargets, s)
+					}
+				}
+			}
+			if isExit {
+				l.Exits = append(l.Exits, b)
+			}
+			last := b.Last()
+			if last.Op.IsCall() {
+				if last.Op == guest.CALL {
+					l.CallTargets = append(l.CallTargets, uint64(last.Imm))
+				} else {
+					l.HasIndirect = true
+				}
+			}
+			if last.Op == guest.JMPI {
+				l.HasIndirect = true
+			}
+		}
+	}
+
+	// Nesting: loop A is nested in B if B's body contains A's header and
+	// A != B. Choose the smallest such B as parent.
+	for _, a := range loops {
+		var parent *Loop
+		for _, b := range loops {
+			if a == b || !b.Body[a.Header] {
+				continue
+			}
+			if parent == nil || len(b.Body) < len(parent.Body) {
+				parent = b
+			}
+		}
+		a.Parent = parent
+		if parent != nil {
+			parent.Children = append(parent.Children, a)
+		}
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	fn.Loops = loops
+}
+
+func collectBody(l *Loop, latch *Block) {
+	work := []*Block{latch}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if l.Body[b] {
+			continue
+		}
+		l.Body[b] = true
+		for _, p := range b.Preds {
+			work = append(work, p)
+		}
+	}
+}
+
+func containsBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,263 @@
+// Package dbm is the Janus dynamic binary modifier: the DynamoRIO-like
+// layer that translates basic blocks just-in-time into per-thread code
+// caches, consults the rewrite-schedule hash table before caching, and
+// invokes the rule handlers that transform the code (figure 2(b)).
+//
+// Execution is deterministic: parallel loop threads are stepped
+// round-robin at basic-block granularity with per-thread virtual cycle
+// clocks; the elapsed time of a parallel region is the maximum thread
+// clock plus orchestration overheads (see DESIGN.md).
+package dbm
+
+import (
+	"fmt"
+
+	"janus/internal/guest"
+	"janus/internal/jrt"
+	"janus/internal/obj"
+	"janus/internal/profiler"
+	"janus/internal/rules"
+	"janus/internal/stm"
+	"janus/internal/vm"
+)
+
+// CostModel holds the virtual-cycle charges for DBM machinery. The
+// defaults are tuned so the relative overheads match the paper's
+// observations (≈6% average slowdown under the bare modifier, checks
+// costing a few percent, speculation expensive per access).
+type CostModel struct {
+	// TransPerInst is charged once per instruction translated into a
+	// code cache.
+	TransPerInst int64
+	// Dispatch is charged per basic-block entry (cache lookup + link).
+	Dispatch int64
+	// LoopInitBase/PerThread model LOOP_INIT (starting all threads).
+	LoopInitBase      int64
+	LoopInitPerThread int64
+	// LoopFinishBase/PerThread model LOOP_FINISH (joining threads).
+	LoopFinishBase      int64
+	LoopFinishPerThread int64
+	// CheckPerRange is charged per range pair in MEM_BOUNDS_CHECK.
+	CheckPerRange int64
+	// TxStart / TxPerAccess / TxValidatePerWord / TxCommitPerWord model
+	// the software-transaction overheads.
+	TxStart           int64
+	TxPerAccess       int64
+	TxValidatePerWord int64
+	TxCommitPerWord   int64
+}
+
+// DefaultCost is the standard cost model.
+func DefaultCost() CostModel {
+	return CostModel{
+		TransPerInst:        60,
+		Dispatch:            1,
+		LoopInitBase:        4000,
+		LoopInitPerThread:   900,
+		LoopFinishBase:      2000,
+		LoopFinishPerThread: 400,
+		CheckPerRange:       60,
+		TxStart:             60,
+		TxPerAccess:         6,
+		TxValidatePerWord:   12,
+		TxCommitPerWord:     8,
+	}
+}
+
+// Config controls one DBM execution.
+type Config struct {
+	// Threads is the parallel thread count (>=1).
+	Threads int
+	// Parallel enables the parallelisation rule handlers.
+	Parallel bool
+	// Profile enables the profiling rule handlers.
+	Profile bool
+	// MinIterPerThread is the profitability floor: loops with fewer
+	// iterations per thread run sequentially.
+	MinIterPerThread int64
+	// MaxSteps bounds total executed instructions.
+	MaxSteps int64
+	// Cost is the virtual-cycle cost model.
+	Cost CostModel
+}
+
+// DefaultConfig returns a ready-to-use configuration.
+func DefaultConfig(threads int) Config {
+	return Config{
+		Threads:          threads,
+		Parallel:         true,
+		MinIterPerThread: 4,
+		MaxSteps:         vm.DefaultMaxSteps,
+		Cost:             DefaultCost(),
+	}
+}
+
+// Stats aggregates DBM counters for the evaluation figures.
+type Stats struct {
+	// Translation.
+	TransBlocks int64
+	TransInsts  int64
+	TransCycles int64
+	// Time breakdown (virtual cycles).
+	ParCycles        int64
+	InitFinishCycles int64
+	CheckCycles      int64
+	// Parallelisation events.
+	Invocations  int64
+	ParRegions   int64
+	SeqFallbacks int64
+	CacheFlushes int64
+	// Runtime checks.
+	ChecksRun    int64
+	ChecksFailed int64
+	// Speculation.
+	TxStarted  int64
+	TxCommits  int64
+	TxAborts   int64
+	SpecReads  int64
+	SpecWrites int64
+	SpecInsts  int64
+}
+
+// Executor runs one program under the DBM.
+type Executor struct {
+	M     *vm.Machine
+	Sched *rules.Schedule
+	Ix    *rules.Index
+	Cfg   Config
+
+	Stats Stats
+
+	// caches[t] is thread t's private code cache.
+	caches []map[uint64]*tblock
+
+	// main is the program's main context.
+	main *vm.Context
+
+	// loop is the active parallel-region state (nil outside regions).
+	loop       *jrt.LoopCtx
+	inParallel bool
+
+	// Per-loop metadata precomputed from the schedule.
+	exitTargets map[int32]map[uint64]bool
+	boundData   map[int32]rules.UpdateBoundData
+	privSlots   map[int32]map[int32]rules.MemPrivatiseData
+
+	// Profiling state.
+	Cov *profiler.Coverage
+	Dep *profiler.Dependence
+	Ex  *profiler.Excall
+
+	// seqLoop marks loops currently running sequentially (fallback), so
+	// LOOP_INIT does not re-fire on every header execution.
+	seqLoop map[int32]bool
+
+	// Per-thread transaction state (index = thread ID).
+	tx          []*stm.Tx
+	suppressTx  []bool
+	txStartAddr []uint64
+
+	steps int64
+}
+
+// New creates an executor for exe+libs under schedule s (which may be
+// nil for a bare "DynamoRIO only" run).
+func New(exe *obj.Executable, s *rules.Schedule, cfg Config, libs ...*obj.Library) (*Executor, error) {
+	m, err := vm.NewMachine(exe, libs...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = vm.DefaultMaxSteps
+	}
+	if s == nil {
+		s = &rules.Schedule{ExeName: exe.Name}
+	}
+	ex := &Executor{
+		M:           m,
+		Sched:       s,
+		Ix:          rules.BuildIndex(s),
+		Cfg:         cfg,
+		caches:      make([]map[uint64]*tblock, cfg.Threads),
+		exitTargets: map[int32]map[uint64]bool{},
+		boundData:   map[int32]rules.UpdateBoundData{},
+		privSlots:   map[int32]map[int32]rules.MemPrivatiseData{},
+		seqLoop:     map[int32]bool{},
+		Cov:         profiler.NewCoverage(),
+		Dep:         profiler.NewDependence(),
+		Ex:          profiler.NewExcall(),
+		tx:          make([]*stm.Tx, cfg.Threads),
+		suppressTx:  make([]bool, cfg.Threads),
+		txStartAddr: make([]uint64, cfg.Threads),
+	}
+	for i := range ex.caches {
+		ex.caches[i] = map[uint64]*tblock{}
+	}
+	for _, r := range s.Rules {
+		switch r.ID {
+		case rules.LOOP_FINISH:
+			set := ex.exitTargets[r.LoopID]
+			if set == nil {
+				set = map[uint64]bool{}
+				ex.exitTargets[r.LoopID] = set
+			}
+			set[r.Addr] = true
+		case rules.LOOP_UPDATE_BOUND:
+			ex.boundData[r.LoopID] = r.Data.(rules.UpdateBoundData)
+		case rules.MEM_PRIVATISE:
+			m := ex.privSlots[r.LoopID]
+			if m == nil {
+				m = map[int32]rules.MemPrivatiseData{}
+				ex.privSlots[r.LoopID] = m
+			}
+			d := r.Data.(rules.MemPrivatiseData)
+			m[d.Slot] = d
+		}
+	}
+	ex.main = m.NewContext(0, obj.DefaultStackTop)
+	ex.main.GPR[guest.RegTLS] = jrt.TLSFor(0)
+	return ex, nil
+}
+
+// Result is the outcome of a DBM execution.
+type Result struct {
+	vm.Result
+	Stats Stats
+}
+
+// Run executes the program to completion under the DBM.
+func (ex *Executor) Run() (*Result, error) {
+	t := &jrt.Thread{ID: 0, Ctx: ex.main}
+	for !ex.main.Halted {
+		if ex.steps >= ex.Cfg.MaxSteps {
+			return nil, fmt.Errorf("dbm: exceeded %d steps", ex.Cfg.MaxSteps)
+		}
+		if err := ex.stepBlock(t); err != nil {
+			if err == vm.ErrExited {
+				break
+			}
+			return nil, err
+		}
+	}
+	return &Result{
+		Result: vm.Result{
+			Exit:     ex.main.Exit,
+			Output:   ex.M.Output,
+			Cycles:   ex.main.Cycles,
+			Insts:    ex.main.Insts,
+			MemHash:  ex.M.Mem.Hash(),
+			DataHash: ex.M.Mem.HashBelow(vm.DataHashLimit),
+		},
+		Stats: ex.Stats,
+	}, nil
+}
+
+// DataHash hashes memory below the runtime-private regions, for
+// correctness comparison against native runs (worker stacks and TLS
+// would otherwise differ).
+func (ex *Executor) DataHash() uint64 {
+	return ex.M.Mem.HashBelow(vm.DataHashLimit)
+}

@@ -1,0 +1,280 @@
+package dbm
+
+import (
+	"fmt"
+
+	"janus/internal/guest"
+	"janus/internal/jrt"
+	"janus/internal/rules"
+	"janus/internal/vm"
+)
+
+// runParallelLoop is the LOOP_INIT handler on the main thread: it
+// evaluates the guarding bounds check, partitions the iteration space,
+// spins up the thread pool on the loop, steps the threads round-robin
+// to completion, and merges the loop contexts (LOOP_FINISH).
+func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect, error) {
+	ld := r.Data.(rules.LoopInitData)
+	main := mainT.Ctx
+	ex.Stats.Invocations++
+	entry := func(reg guest.Reg) uint64 { return main.Reg(reg) }
+
+	// Trip count for this invocation.
+	n, known := ld.Trip.Count(entry)
+	if !known || n <= 0 {
+		ex.Stats.SeqFallbacks++
+		return nil, nil
+	}
+	// Profitability floor.
+	if n < int64(ex.Cfg.Threads)*ex.Cfg.MinIterPerThread {
+		ex.Stats.SeqFallbacks++
+		return nil, nil
+	}
+
+	// Runtime array-base check (§II-E1): all ranges written must be
+	// disjoint from every other range.
+	for _, chk := range ex.Ix.At(r.Addr) {
+		if chk.ID != rules.MEM_BOUNDS_CHECK || chk.LoopID != r.LoopID {
+			continue
+		}
+		d := chk.Data.(rules.BoundsCheckData)
+		ex.Stats.ChecksRun++
+		main.Cycles += int64(len(d.Ranges)) * ex.Cfg.Cost.CheckPerRange
+		ex.Stats.CheckCycles += int64(len(d.Ranges)) * ex.Cfg.Cost.CheckPerRange
+		if !boundsCheckPasses(d, entry, n) {
+			ex.Stats.ChecksFailed++
+			ex.Stats.SeqFallbacks++
+			// The loop was already modified in the code caches: flush
+			// and reload the original code (the handlers are inert
+			// outside parallel mode, so re-translation is enough).
+			ex.flushCaches()
+			return nil, nil
+		}
+	}
+
+	ubd, haveBound := ex.boundData[r.LoopID]
+	if !haveBound {
+		return nil, fmt.Errorf("dbm: loop %d has no LOOP_UPDATE_BOUND rule", r.LoopID)
+	}
+
+	// Build the loop context.
+	lc := &jrt.LoopCtx{
+		LoopID:      r.LoopID,
+		Init:        ld,
+		Trip:        n,
+		MainSP:      main.Reg(guest.SP),
+		ExitTargets: ex.exitTargets[r.LoopID],
+		BoundValue:  make([]uint64, ex.Cfg.Threads),
+		PrivSlots:   map[int32]jrt.PrivSlot{},
+	}
+	copy(lc.EntryRegs[:], main.GPR[:])
+	for slot, pd := range ex.privSlots[r.LoopID] {
+		lc.PrivSlots[slot] = jrt.PrivSlot{
+			SharedAddr: uint64(pd.SharedAddr.Eval(entry, 0)),
+			Size:       pd.Size,
+		}
+	}
+	if len(lc.ExitTargets) == 0 {
+		return nil, fmt.Errorf("dbm: loop %d has no exit targets", r.LoopID)
+	}
+
+	// Partition and launch.
+	chunks := jrt.PartitionChunked(n, ex.Cfg.Threads)
+	threads := make([]*jrt.Thread, ex.Cfg.Threads)
+	for i := 0; i < ex.Cfg.Threads; i++ {
+		ctx := &vm.Context{ID: i, Bus: ex.M.Mem}
+		ctx.GPR = main.GPR
+		ctx.GPR[guest.RegTLS] = jrt.TLSFor(i)
+		if i != 0 {
+			ctx.SetReg(guest.SP, jrt.StackTopFor(i))
+		}
+		for _, iv := range ld.Inductions {
+			init := iv.Init.Eval(entry, 0)
+			ctx.SetReg(iv.Reg, uint64(init+iv.Step*chunks[i].Lo))
+		}
+		for _, red := range ld.Reductions {
+			ctx.SetReg(red.Reg, jrt.ReductionIdentity(red.Op))
+		}
+		bv, err := jrt.PatchedBound(ubd, entry, chunks[i].Hi)
+		if err != nil {
+			return nil, err
+		}
+		lc.BoundValue[i] = bv
+		ctx.PC = ld.LoopStart
+		th := &jrt.Thread{ID: i, Ctx: ctx, Lo: chunks[i].Lo, Hi: chunks[i].Hi, State: jrt.StateScheduled}
+		if chunks[i].Lo >= chunks[i].Hi {
+			th.State = jrt.StateDone
+		}
+		threads[i] = th
+	}
+
+	// Round-robin execution at basic-block granularity.
+	ex.loop = lc
+	ex.inParallel = true
+	ex.Stats.ParRegions++
+	defer func() { ex.loop = nil; ex.inParallel = false }()
+
+	active := 0
+	for _, th := range threads {
+		if th.State != jrt.StateDone {
+			th.State = jrt.StateRunning
+			active++
+		}
+	}
+	guard := ex.Cfg.MaxSteps
+	for active > 0 {
+		if guard <= 0 {
+			return nil, errStuck
+		}
+		oldest := oldestRunning(threads)
+		progressed := false
+		for _, th := range threads {
+			if th.State != jrt.StateRunning {
+				continue
+			}
+			// An aborted speculative thread waits until it is oldest
+			// before re-executing non-speculatively.
+			if ex.suppressTx[th.ID] && th.ID != oldest {
+				continue
+			}
+			th.Oldest = th.ID == oldest
+			if err := ex.stepBlock(th); err != nil {
+				return nil, fmt.Errorf("dbm: loop %d thread %d: %w", r.LoopID, th.ID, err)
+			}
+			progressed = true
+			guard--
+			if lc.ExitTargets[th.Ctx.PC] {
+				th.State = jrt.StateDone
+				if ex.tx[th.ID] != nil {
+					// A transaction left open across the chunk end:
+					// validate/commit now.
+					if rd, err := ex.finishTx(th, ex.tx[th.ID]); err != nil {
+						return nil, err
+					} else if rd != nil {
+						th.Ctx.PC = rd.pc
+						th.State = jrt.StateRunning
+						continue
+					}
+				}
+				active--
+			}
+		}
+		if !progressed {
+			return nil, errStuck
+		}
+	}
+
+	// Virtual time: the region took as long as its slowest thread, plus
+	// init/finish orchestration.
+	var maxCycles int64
+	for _, th := range threads {
+		if th.Ctx.Cycles > maxCycles {
+			maxCycles = th.Ctx.Cycles
+		}
+	}
+	initFinish := ex.Cfg.Cost.LoopInitBase + ex.Cfg.Cost.LoopFinishBase +
+		int64(ex.Cfg.Threads)*(ex.Cfg.Cost.LoopInitPerThread+ex.Cfg.Cost.LoopFinishPerThread)
+	main.Cycles += maxCycles + initFinish
+	ex.Stats.ParCycles += maxCycles
+	ex.Stats.InitFinishCycles += initFinish
+	var totalInsts int64
+	for _, th := range threads {
+		totalInsts += th.Ctx.Insts
+	}
+	main.Insts += totalInsts
+
+	// LOOP_FINISH: combine loop contexts from all threads.
+	last := lastNonEmpty(threads)
+	for _, iv := range ld.Inductions {
+		init := iv.Init.Eval(entry, 0)
+		main.SetReg(iv.Reg, uint64(init+iv.Step*n))
+	}
+	var finish rules.LoopFinishData
+	for _, fr := range ex.finishRules(r.LoopID) {
+		finish = fr
+		break
+	}
+	for _, red := range finish.Reductions {
+		acc := main.Reg(red.Reg) // initial value flows through main
+		for _, th := range threads {
+			acc = jrt.MergeReduction(red.Op, acc, th.Ctx.Reg(red.Reg))
+		}
+		main.SetReg(red.Reg, acc)
+	}
+	if last != nil {
+		for _, lo := range finish.LiveOut {
+			main.SetReg(lo, last.Ctx.Reg(lo))
+		}
+		main.ZF, main.LF = last.Ctx.ZF, last.Ctx.LF
+		// Copy privatised cells back to shared memory from the thread
+		// that executed the final iteration.
+		for slot, ps := range lc.PrivSlots {
+			priv := jrt.PrivAddr(last.ID, slot)
+			for off := int64(0); off < ps.Size; off += 8 {
+				ex.M.Mem.Write64(ps.SharedAddr+uint64(off), ex.M.Mem.Read64(priv+uint64(off)))
+			}
+		}
+	}
+
+	// Resume sequential execution at the loop's exit target.
+	var exitPC uint64
+	for a := range lc.ExitTargets {
+		exitPC = a
+		break
+	}
+	return &redirect{pc: exitPC}, nil
+}
+
+// boundsCheckPasses evaluates the runtime array-base check: every
+// written range must be disjoint from every other range.
+func boundsCheckPasses(d rules.BoundsCheckData, entry func(guest.Reg) uint64, trip int64) bool {
+	type iv struct {
+		lo, hi int64
+		write  bool
+	}
+	ivs := make([]iv, len(d.Ranges))
+	for i, rg := range d.Ranges {
+		lo, hi := rg.Interval(entry, trip)
+		ivs[i] = iv{lo: lo, hi: hi, write: rg.Write}
+	}
+	for i := range ivs {
+		for j := i + 1; j < len(ivs); j++ {
+			if !ivs[i].write && !ivs[j].write {
+				continue
+			}
+			if ivs[i].lo < ivs[j].hi && ivs[j].lo < ivs[i].hi {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finishRules returns the LOOP_FINISH payloads for a loop.
+func (ex *Executor) finishRules(loopID int32) []rules.LoopFinishData {
+	var out []rules.LoopFinishData
+	for _, r := range ex.Sched.Rules {
+		if r.ID == rules.LOOP_FINISH && r.LoopID == loopID {
+			out = append(out, r.Data.(rules.LoopFinishData))
+		}
+	}
+	return out
+}
+
+func oldestRunning(threads []*jrt.Thread) int {
+	for _, th := range threads {
+		if th.State == jrt.StateRunning {
+			return th.ID
+		}
+	}
+	return -1
+}
+
+func lastNonEmpty(threads []*jrt.Thread) *jrt.Thread {
+	for i := len(threads) - 1; i >= 0; i-- {
+		if threads[i].Hi > threads[i].Lo {
+			return threads[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package dbm
+
+import (
+	"testing"
+
+	"janus/internal/analyzer"
+	"janus/internal/asm"
+	"janus/internal/guest"
+	"janus/internal/obj"
+)
+
+// TestSpeculationAbortAndRetry exercises the full abort path of the
+// just-in-time STM: a shared library function performs a read-modify-
+// write on a global counter, so concurrent transactions from different
+// threads conflict. Value-based validation must catch the conflicts,
+// the losers must roll back to their checkpoints and re-execute
+// non-speculatively once oldest, and the final counter must still equal
+// the iteration count (increments commute, so the program's final
+// memory state is order-independent).
+func TestSpeculationAbortAndRetry(t *testing.T) {
+	const n = 64
+
+	// Library: bump() { *counter += 1 } — the counter address arrives
+	// in R1.
+	lb := asm.NewBuilder("libcnt")
+	bump := lb.Func("bump")
+	bump.Ld(guest.R0, guest.Mem{Base: guest.R1, Index: guest.RegNone, Scale: 1})
+	bump.OpI(guest.ADDI, guest.R0, 1)
+	bump.St(guest.Mem{Base: guest.R1, Index: guest.RegNone, Scale: 1}, guest.R0)
+	bump.Ret()
+	lib, err := lb.BuildLibrary(obj.DefaultLibBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Program: for i in 0..n-1 { bump(&counter) }; write(counter).
+	b := asm.NewBuilder("spinbump")
+	b.Import("bump")
+	b.Data("counter", 8)
+	f := b.Func("main")
+	loop, done := f.NewLabel(), f.NewLabel()
+	f.Movi(guest.R6, 0)
+	f.Bind(loop)
+	f.Cmpi(guest.R6, n)
+	f.J(guest.JGE, done)
+	f.MoviData(guest.R1, "counter", 0)
+	f.Call("bump")
+	f.OpI(guest.ADDI, guest.R6, 1)
+	f.J(guest.JMP, loop)
+	f.Bind(done)
+	f.LdData(guest.R2, "counter", 0)
+	f.Movi(guest.R0, guest.SysWrite)
+	f.Mov(guest.R1, guest.R2)
+	f.Syscall()
+	f.Halt()
+	exe, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := analyzer.Analyze(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop has a library call, so it is ambiguous (dynamic). Select
+	// it for speculation without dependence profiling, which would
+	// otherwise (correctly) reject it — the point here is to drive the
+	// abort machinery.
+	p.SelectLoops(analyzer.SelectOptions{UseChecks: true})
+	selected := 0
+	for _, li := range p.Loops {
+		if li.Selected {
+			selected++
+		}
+	}
+	if selected != 1 {
+		t.Fatalf("selected %d loops", selected)
+	}
+	sched, err := p.GenParallelSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4)
+	ex, err := New(exe, sched, cfg, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != n {
+		t.Fatalf("counter = %d, want %d (lost updates despite STM)", res.Output[0], n)
+	}
+	if ex.Stats.TxAborts == 0 {
+		t.Fatal("conflicting RMW library calls must abort at least once")
+	}
+	if ex.Stats.TxCommits == 0 {
+		t.Fatal("no transaction ever committed")
+	}
+	t.Logf("tx: %d started, %d commits, %d aborts", ex.Stats.TxStarted, ex.Stats.TxCommits, ex.Stats.TxAborts)
+}
+
+// TestSpeculationCommitHoldsUntilOldest checks that a transaction with
+// buffered writes coming from a non-oldest thread still commits with
+// correct values (the scheduler only steps aborted threads when they
+// are oldest, and validation serialises RMW chains).
+func TestSpeculationManyThreads(t *testing.T) {
+	const n = 96
+	lb := asm.NewBuilder("libcnt")
+	bump := lb.Func("bump")
+	bump.Ld(guest.R0, guest.Mem{Base: guest.R1, Index: guest.RegNone, Scale: 1})
+	bump.OpI(guest.ADDI, guest.R0, 3)
+	bump.St(guest.Mem{Base: guest.R1, Index: guest.RegNone, Scale: 1}, guest.R0)
+	bump.Ret()
+	lib, err := lb.BuildLibrary(obj.DefaultLibBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := asm.NewBuilder("spinbump8")
+	b.Import("bump")
+	b.Data("counter", 8)
+	f := b.Func("main")
+	loop, done := f.NewLabel(), f.NewLabel()
+	f.Movi(guest.R6, 0)
+	f.Bind(loop)
+	f.Cmpi(guest.R6, n)
+	f.J(guest.JGE, done)
+	f.MoviData(guest.R1, "counter", 0)
+	f.Call("bump")
+	f.OpI(guest.ADDI, guest.R6, 1)
+	f.J(guest.JMP, loop)
+	f.Bind(done)
+	f.LdData(guest.R2, "counter", 0)
+	f.Movi(guest.R0, guest.SysWrite)
+	f.Mov(guest.R1, guest.R2)
+	f.Syscall()
+	f.Halt()
+	exe, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := analyzer.Analyze(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SelectLoops(analyzer.SelectOptions{UseChecks: true})
+	sched, err := p.GenParallelSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := New(exe, sched, DefaultConfig(8), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 3*n {
+		t.Fatalf("counter = %d, want %d", res.Output[0], 3*n)
+	}
+}

@@ -1,0 +1,159 @@
+package dbm
+
+import (
+	"janus/internal/guest"
+	"janus/internal/jrt"
+	"janus/internal/rules"
+)
+
+// execKind says how an instruction in a translated block executes.
+type execKind uint8
+
+const (
+	// execNormal: unmodified guest semantics.
+	execNormal execKind = iota
+	// execPrivatise: memory operand redirected to a TLS private slot.
+	execPrivatise
+	// execMainStack: stack read redirected to the main thread's stack.
+	execMainStack
+	// execBound: exit compare tests the thread's patched bound.
+	execBound
+)
+
+// titem is one instruction in a translated block: the original
+// instruction plus the transformations the rewrite rules attached.
+type titem struct {
+	addr uint64
+	inst guest.Inst
+	// pre are the rules whose handlers run before the instruction.
+	pre []rules.Rule
+	// kind selects the execution transformation.
+	kind execKind
+	// priv carries MEM_PRIVATISE parameters.
+	priv rules.MemPrivatiseData
+	// bound carries LOOP_UPDATE_BOUND parameters.
+	bound rules.UpdateBoundData
+	// loopID of the transforming rule (for kind != execNormal).
+	loopID int32
+}
+
+// tblock is one translated basic block in a thread's code cache.
+type tblock struct {
+	start uint64
+	items []titem
+	// end is the fall-through address after the block.
+	end uint64
+}
+
+// maxBlockLen caps translated block length.
+const maxBlockLen = 128
+
+// blockFor returns thread t's translated block at addr, translating and
+// caching it on a miss (the just-in-time recompilation step of figure
+// 1(b)).
+func (ex *Executor) blockFor(t *jrt.Thread, addr uint64) (*tblock, error) {
+	cache := ex.caches[t.ID]
+	if b, ok := cache[addr]; ok {
+		return b, nil
+	}
+	b, err := ex.translate(addr)
+	if err != nil {
+		return nil, err
+	}
+	cache[addr] = b
+	ex.Stats.TransBlocks++
+	ex.Stats.TransInsts += int64(len(b.items))
+	cost := int64(len(b.items)) * ex.Cfg.Cost.TransPerInst
+	ex.Stats.TransCycles += cost
+	t.Ctx.Cycles += cost
+	return b, nil
+}
+
+// translate decodes one basic block starting at addr and applies the
+// rewrite rules found in the schedule hash table (figure 2(b)).
+func (ex *Executor) translate(addr uint64) (*tblock, error) {
+	b := &tblock{start: addr}
+	a := addr
+	for len(b.items) < maxBlockLen {
+		in, err := ex.M.FetchInst(a)
+		if err != nil {
+			if len(b.items) > 0 {
+				// Lazy decoding: stop at the first undecodable byte;
+				// execution never falls through here (e.g. an exit
+				// syscall precedes it).
+				break
+			}
+			return nil, err
+		}
+		it := titem{addr: a, inst: in}
+		for _, r := range ex.Ix.At(a) {
+			ex.applyRule(&it, r)
+		}
+		b.items = append(b.items, it)
+		a += guest.InstSize
+		if in.Op.IsBlockEnd() {
+			break
+		}
+		// A rule on the next address that begins a region (LOOP_INIT,
+		// LOOP_FINISH, profiling) must sit at a block head so its
+		// handler runs exactly when control reaches it; end the block
+		// early. This mirrors how a DBM splits blocks at instrumented
+		// addresses.
+		if ex.Ix.Has(a) {
+			break
+		}
+	}
+	b.end = a
+	return b, nil
+}
+
+// applyRule is the rewrite-rule interpreter: each rule ID has a handler
+// that transforms the instruction (figure 2(b)'s handler table). Rules
+// are applied in schedule order.
+func (ex *Executor) applyRule(it *titem, r rules.Rule) {
+	switch r.ID {
+	case rules.MEM_PRIVATISE:
+		if !ex.Cfg.Parallel {
+			return
+		}
+		it.kind = execPrivatise
+		it.priv = r.Data.(rules.MemPrivatiseData)
+		it.loopID = r.LoopID
+	case rules.MEM_MAIN_STACK:
+		if !ex.Cfg.Parallel {
+			return
+		}
+		it.kind = execMainStack
+		it.loopID = r.LoopID
+	case rules.LOOP_UPDATE_BOUND:
+		if !ex.Cfg.Parallel {
+			return
+		}
+		it.kind = execBound
+		it.bound = r.Data.(rules.UpdateBoundData)
+		it.loopID = r.LoopID
+	case rules.PROF_LOOP_ITER, rules.PROF_LOOP_FINISH, rules.PROF_MEM_ACCESS,
+		rules.PROF_LOOP_START, rules.PROF_EXCALL_START, rules.PROF_EXCALL_FINISH:
+		if ex.Cfg.Profile {
+			it.pre = append(it.pre, r)
+		}
+	case rules.MEM_BOUNDS_CHECK, rules.THREAD_SCHEDULE, rules.THREAD_YIELD,
+		rules.LOOP_INIT, rules.LOOP_FINISH, rules.TX_START, rules.TX_FINISH:
+		if ex.Cfg.Parallel {
+			it.pre = append(it.pre, r)
+		}
+	case rules.MEM_SPILL_REG, rules.MEM_RECOVER_REG:
+		if ex.Cfg.Parallel {
+			it.pre = append(it.pre, r)
+		}
+	}
+}
+
+// flushCaches models the paper's code-cache flush when a failed runtime
+// check forces the original sequential code to be reloaded.
+func (ex *Executor) flushCaches() {
+	for i := range ex.caches {
+		ex.caches[i] = map[uint64]*tblock{}
+	}
+	ex.Stats.CacheFlushes++
+}

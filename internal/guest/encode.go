@@ -1,0 +1,98 @@
+package guest
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// InstSize is the fixed byte length of every encoded instruction. A flat
+// fixed-width encoding keeps the decoder trivial while still forcing the
+// static analyser to work from raw bytes, mirroring the role Capstone
+// plays for the paper's analyser.
+//
+// Layout:
+//
+//	[0]     opcode
+//	[1]     rd
+//	[2]     rs
+//	[3]     mem base register (RegNone if absent)
+//	[4]     mem index register (RegNone if absent)
+//	[5]     mem scale
+//	[6:8]   reserved (zero)
+//	[8:16]  mem displacement (little-endian int64)
+//	[16:24] immediate (little-endian int64)
+const InstSize = 24
+
+// Encode serialises the instruction into its fixed-width form.
+func Encode(in Inst) [InstSize]byte {
+	var b [InstSize]byte
+	b[0] = byte(in.Op)
+	b[1] = byte(in.Rd)
+	b[2] = byte(in.Rs)
+	b[3] = byte(in.M.Base)
+	b[4] = byte(in.M.Index)
+	scale := in.M.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	b[5] = scale
+	binary.LittleEndian.PutUint64(b[8:16], uint64(in.M.Disp))
+	binary.LittleEndian.PutUint64(b[16:24], uint64(in.Imm))
+	return b
+}
+
+// Decode parses one instruction from the front of buf. It returns an
+// error if buf is too short or the opcode is undefined, which is how the
+// static analyser detects data embedded in a code section.
+func Decode(buf []byte) (Inst, error) {
+	if len(buf) < InstSize {
+		return Inst{}, fmt.Errorf("guest: truncated instruction: %d bytes", len(buf))
+	}
+	op := Op(buf[0])
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("guest: undefined opcode %#x", buf[0])
+	}
+	in := Inst{
+		Op: op,
+		Rd: Reg(buf[1]),
+		Rs: Reg(buf[2]),
+		M: Mem{
+			Base:  Reg(buf[3]),
+			Index: Reg(buf[4]),
+			Scale: buf[5],
+			Disp:  int64(binary.LittleEndian.Uint64(buf[8:16])),
+		},
+		Imm: int64(binary.LittleEndian.Uint64(buf[16:24])),
+	}
+	if in.M.Scale == 0 {
+		in.M.Scale = 1
+	}
+	return in, nil
+}
+
+// EncodeAll serialises a sequence of instructions.
+func EncodeAll(insts []Inst) []byte {
+	out := make([]byte, 0, len(insts)*InstSize)
+	for _, in := range insts {
+		b := Encode(in)
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// DecodeAll parses an entire code image. The byte length must be a
+// multiple of InstSize.
+func DecodeAll(buf []byte) ([]Inst, error) {
+	if len(buf)%InstSize != 0 {
+		return nil, fmt.Errorf("guest: code image length %d not a multiple of %d", len(buf), InstSize)
+	}
+	out := make([]Inst, 0, len(buf)/InstSize)
+	for off := 0; off < len(buf); off += InstSize {
+		in, err := Decode(buf[off:])
+		if err != nil {
+			return nil, fmt.Errorf("at offset %#x: %w", off, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}

@@ -1,0 +1,294 @@
+// Package obj defines the executable and shared-library formats for
+// guest programs: a code section of fixed-width encoded instructions, a
+// data section, a symbol table, and an import table backed by PLT stubs.
+//
+// The format plays the role ELF plays in the paper. The static analyser
+// consumes only the byte image plus the dynamic-symbol information that
+// even stripped ELF binaries retain (section bounds, entry point, PLT
+// import names); the full symbol table is optional, so analysis of
+// stripped binaries is exercised directly.
+package obj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"janus/internal/guest"
+)
+
+// Default load addresses, deliberately echoing common x86-64 layouts.
+const (
+	DefaultCodeBase = 0x400000
+	DefaultDataBase = 0x600000
+	// DefaultStackTop is where the main thread stack begins (grows down).
+	DefaultStackTop = 0x7fff_ffff_e000
+	// DefaultHeapBase is where SysAlloc carves allocations from.
+	DefaultHeapBase = 0x10_0000_0000
+	// DefaultLibBase is where the first shared library is mapped.
+	DefaultLibBase = 0x7f00_0000_0000
+)
+
+// SymKind classifies a symbol.
+type SymKind uint8
+
+const (
+	SymFunc SymKind = iota
+	SymData
+)
+
+// Symbol names an address range in a section.
+type Symbol struct {
+	Name string
+	Addr uint64
+	Size uint64
+	Kind SymKind
+}
+
+// Import is an external function reached through a PLT stub. The stub at
+// PLT is a single JMP whose target the loader patches to the resolved
+// library symbol.
+type Import struct {
+	Name string
+	PLT  uint64
+}
+
+// Executable is a loadable guest program image.
+type Executable struct {
+	Name     string
+	Entry    uint64
+	CodeBase uint64
+	Code     []byte
+	DataBase uint64
+	Data     []byte
+	Symbols  []Symbol // empty when stripped
+	Imports  []Import
+	// Stripped marks that Symbols carries no local function names; the
+	// analyser must recover functions from the entry point and call
+	// targets alone.
+	Stripped bool
+}
+
+// CodeEnd returns the first address past the code section.
+func (e *Executable) CodeEnd() uint64 { return e.CodeBase + uint64(len(e.Code)) }
+
+// DataEnd returns the first address past the data section.
+func (e *Executable) DataEnd() uint64 { return e.DataBase + uint64(len(e.Data)) }
+
+// InCode reports whether addr lies inside the code section.
+func (e *Executable) InCode(addr uint64) bool {
+	return addr >= e.CodeBase && addr < e.CodeEnd()
+}
+
+// Decode disassembles the full code section. Instruction i sits at
+// address CodeBase + i*guest.InstSize.
+func (e *Executable) Decode() ([]guest.Inst, error) {
+	return guest.DecodeAll(e.Code)
+}
+
+// InstAt decodes the single instruction at addr.
+func (e *Executable) InstAt(addr uint64) (guest.Inst, error) {
+	if !e.InCode(addr) {
+		return guest.Inst{}, fmt.Errorf("obj: address %#x outside code section", addr)
+	}
+	off := addr - e.CodeBase
+	if off%guest.InstSize != 0 {
+		return guest.Inst{}, fmt.Errorf("obj: address %#x not instruction-aligned", addr)
+	}
+	return guest.Decode(e.Code[off:])
+}
+
+// ImportAt returns the import whose PLT stub is at addr, if any.
+func (e *Executable) ImportAt(addr uint64) (Import, bool) {
+	for _, im := range e.Imports {
+		if im.PLT == addr {
+			return im, true
+		}
+	}
+	return Import{}, false
+}
+
+// FuncSymbols returns the function symbols sorted by address.
+func (e *Executable) FuncSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range e.Symbols {
+		if s.Kind == SymFunc {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// SymbolByName finds a symbol by name.
+func (e *Executable) SymbolByName(name string) (Symbol, bool) {
+	for _, s := range e.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// Strip returns a copy with local function symbols removed, keeping only
+// what a stripped dynamic binary retains: entry, section bounds, imports.
+func (e *Executable) Strip() *Executable {
+	cp := *e
+	cp.Symbols = nil
+	cp.Stripped = true
+	cp.Code = append([]byte(nil), e.Code...)
+	cp.Data = append([]byte(nil), e.Data...)
+	cp.Imports = append([]Import(nil), e.Imports...)
+	return &cp
+}
+
+// Size returns the total image size in bytes (code + data), the figure
+// the paper normalises rewrite-schedule sizes against.
+func (e *Executable) Size() int { return len(e.Code) + len(e.Data) }
+
+// Library is a shared object mapped by the loader.
+type Library struct {
+	Name    string
+	Base    uint64
+	Code    []byte
+	Symbols []Symbol
+}
+
+// SymbolByName finds an exported library symbol.
+func (l *Library) SymbolByName(name string) (Symbol, bool) {
+	for _, s := range l.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// InCode reports whether addr lies in the library's code.
+func (l *Library) InCode(addr uint64) bool {
+	return addr >= l.Base && addr < l.Base+uint64(len(l.Code))
+}
+
+const magic = "JEXE0001"
+
+// Save serialises the executable to a byte image (our "file format").
+func (e *Executable) Save() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	writeStr(&buf, e.Name)
+	w64 := func(v uint64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w64(e.Entry)
+	w64(e.CodeBase)
+	w64(uint64(len(e.Code)))
+	buf.Write(e.Code)
+	w64(e.DataBase)
+	w64(uint64(len(e.Data)))
+	buf.Write(e.Data)
+	if e.Stripped {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	w64(uint64(len(e.Symbols)))
+	for _, s := range e.Symbols {
+		writeStr(&buf, s.Name)
+		w64(s.Addr)
+		w64(s.Size)
+		buf.WriteByte(byte(s.Kind))
+	}
+	w64(uint64(len(e.Imports)))
+	for _, im := range e.Imports {
+		writeStr(&buf, im.Name)
+		w64(im.PLT)
+	}
+	return buf.Bytes()
+}
+
+// Load parses an image produced by Save.
+func Load(img []byte) (*Executable, error) {
+	r := bytes.NewReader(img)
+	got := make([]byte, len(magic))
+	if _, err := r.Read(got); err != nil || string(got) != magic {
+		return nil, fmt.Errorf("obj: bad magic")
+	}
+	e := &Executable{}
+	var err error
+	rd64 := func() uint64 {
+		var v uint64
+		if err == nil {
+			err = binary.Read(r, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	rdStr := func() string {
+		n := rd64()
+		if err != nil || n > uint64(r.Len()) {
+			if err == nil {
+				err = fmt.Errorf("obj: truncated string")
+			}
+			return ""
+		}
+		b := make([]byte, n)
+		_, err = r.Read(b)
+		return string(b)
+	}
+	rdBytes := func() []byte {
+		n := rd64()
+		if err != nil || n > uint64(r.Len()) {
+			if err == nil {
+				err = fmt.Errorf("obj: truncated section")
+			}
+			return nil
+		}
+		b := make([]byte, n)
+		_, err = r.Read(b)
+		return b
+	}
+	e.Name = rdStr()
+	e.Entry = rd64()
+	e.CodeBase = rd64()
+	e.Code = rdBytes()
+	e.DataBase = rd64()
+	e.Data = rdBytes()
+	var sb [1]byte
+	if err == nil {
+		_, err = r.Read(sb[:])
+	}
+	e.Stripped = sb[0] == 1
+	nsym := rd64()
+	if err == nil && nsym > uint64(r.Len()) {
+		return nil, fmt.Errorf("obj: corrupt symbol count")
+	}
+	for i := uint64(0); i < nsym && err == nil; i++ {
+		var s Symbol
+		s.Name = rdStr()
+		s.Addr = rd64()
+		s.Size = rd64()
+		var kb [1]byte
+		if err == nil {
+			_, err = r.Read(kb[:])
+		}
+		s.Kind = SymKind(kb[0])
+		e.Symbols = append(e.Symbols, s)
+	}
+	nimp := rd64()
+	if err == nil && nimp > uint64(r.Len()) {
+		return nil, fmt.Errorf("obj: corrupt import count")
+	}
+	for i := uint64(0); i < nimp && err == nil; i++ {
+		var im Import
+		im.Name = rdStr()
+		im.PLT = rd64()
+		e.Imports = append(e.Imports, im)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("obj: load: %w", err)
+	}
+	return e, nil
+}
+
+func writeStr(buf *bytes.Buffer, s string) {
+	_ = binary.Write(buf, binary.LittleEndian, uint64(len(s)))
+	buf.WriteString(s)
+}

@@ -1,0 +1,268 @@
+// Package profiler implements Janus' statically-driven profiling: loop
+// coverage profiling (dynamic instructions per loop as a proxy for time)
+// and cross-iteration memory-dependence profiling. The DBM invokes the
+// recording methods from its PROF_* rule handlers; only instrumented
+// loops and instrumented instructions ever reach this package, which is
+// what makes the paper's profiling cheap.
+package profiler
+
+// Coverage accumulates dynamic instruction counts per loop.
+type Coverage struct {
+	total int64
+	// perLoop[loopID] counts instructions executed while the loop was
+	// active (nested loops attribute to every active level).
+	perLoop map[int]int64
+	// perLoopExcl attributes each instruction only to the innermost
+	// active loop, so per-category fractions sum to at most one.
+	perLoopExcl map[int]int64
+	// invocations[loopID] counts loop entries; iterations counts header
+	// executions.
+	invocations map[int]int64
+	iterations  map[int]int64
+	// active is the current loop nest (innermost last).
+	active []int
+	inNest map[int]bool
+}
+
+// NewCoverage returns an empty coverage profile.
+func NewCoverage() *Coverage {
+	return &Coverage{
+		perLoop:     map[int]int64{},
+		perLoopExcl: map[int]int64{},
+		invocations: map[int]int64{},
+		iterations:  map[int]int64{},
+		inNest:      map[int]bool{},
+	}
+}
+
+// EnterIter handles a PROF_LOOP_ITER at a loop header: either a new
+// invocation (loop not active) or another iteration.
+func (c *Coverage) EnterIter(loopID int) {
+	if !c.inNest[loopID] {
+		c.active = append(c.active, loopID)
+		c.inNest[loopID] = true
+		c.invocations[loopID]++
+	}
+	c.iterations[loopID]++
+}
+
+// Finish handles PROF_LOOP_FINISH at a loop exit target: pops the loop
+// (and any nested loops abandoned by a multi-level exit).
+func (c *Coverage) Finish(loopID int) {
+	for len(c.active) > 0 {
+		top := c.active[len(c.active)-1]
+		c.active = c.active[:len(c.active)-1]
+		delete(c.inNest, top)
+		if top == loopID {
+			return
+		}
+	}
+}
+
+// IsActive reports whether the loop is currently on the active nest.
+func (c *Coverage) IsActive(loopID int) bool { return c.inNest[loopID] }
+
+// Step attributes n executed instructions to every active loop
+// (inclusive) and to the innermost active loop (exclusive).
+func (c *Coverage) Step(n int64) {
+	c.total += n
+	for _, id := range c.active {
+		c.perLoop[id] += n
+	}
+	if len(c.active) > 0 {
+		c.perLoopExcl[c.active[len(c.active)-1]] += n
+	}
+}
+
+// ExclusiveFractions returns innermost-attributed per-loop coverage;
+// summing over disjoint loop sets never exceeds one.
+func (c *Coverage) ExclusiveFractions() map[int]float64 {
+	out := make(map[int]float64, len(c.perLoopExcl))
+	if c.total == 0 {
+		return out
+	}
+	for id, n := range c.perLoopExcl {
+		out[id] = float64(n) / float64(c.total)
+	}
+	return out
+}
+
+// AvgIters returns mean iterations per invocation for every profiled
+// loop.
+func (c *Coverage) AvgIters() map[int]float64 {
+	out := make(map[int]float64, len(c.invocations))
+	for id, inv := range c.invocations {
+		if inv > 0 {
+			out[id] = float64(c.iterations[id]) / float64(inv)
+		}
+	}
+	return out
+}
+
+// Fractions returns per-loop coverage as a fraction of all executed
+// instructions.
+func (c *Coverage) Fractions() map[int]float64 {
+	out := make(map[int]float64, len(c.perLoop))
+	if c.total == 0 {
+		return out
+	}
+	for id, n := range c.perLoop {
+		out[id] = float64(n) / float64(c.total)
+	}
+	return out
+}
+
+// Invocations returns the number of times the loop was entered.
+func (c *Coverage) Invocations(loopID int) int64 { return c.invocations[loopID] }
+
+// Iterations returns the total header executions of the loop.
+func (c *Coverage) Iterations(loopID int) int64 { return c.iterations[loopID] }
+
+// AvgIterations returns mean iterations per invocation.
+func (c *Coverage) AvgIterations(loopID int) float64 {
+	inv := c.invocations[loopID]
+	if inv == 0 {
+		return 0
+	}
+	return float64(c.iterations[loopID]) / float64(inv)
+}
+
+// Total returns the total profiled instruction count.
+func (c *Coverage) Total() int64 { return c.total }
+
+// Dependence detects cross-iteration memory dependences for the
+// instrumented accesses of each profiled loop.
+type Dependence struct {
+	// last[loopID][addr] records the last iteration that touched addr
+	// and whether it was a write.
+	last map[int]map[uint64]depRecord
+	// iter[loopID] is the current iteration ordinal of the invocation.
+	iter map[int]int64
+	// observed[loopID] is set once a cross-iteration dependence occurs.
+	observed map[int]bool
+	// conflicts counts dependence events per loop.
+	conflicts map[int]int64
+}
+
+type depRecord struct {
+	iter  int64
+	write bool
+}
+
+// NewDependence returns an empty dependence profile.
+func NewDependence() *Dependence {
+	return &Dependence{
+		last:      map[int]map[uint64]depRecord{},
+		iter:      map[int]int64{},
+		observed:  map[int]bool{},
+		conflicts: map[int]int64{},
+	}
+}
+
+// EnterIter advances the loop to its next iteration (and resets
+// tracking state on a fresh invocation, identified by first=true).
+func (d *Dependence) EnterIter(loopID int, first bool) {
+	if first {
+		d.last[loopID] = map[uint64]depRecord{}
+		d.iter[loopID] = 0
+		return
+	}
+	d.iter[loopID]++
+}
+
+// Record notes an instrumented access of width bytes. A dependence is
+// observed when an address is touched in different iterations and at
+// least one access is a write (word-granularity, like the paper's
+// word-based tracking).
+func (d *Dependence) Record(loopID int, addr uint64, width int64, write bool) {
+	m := d.last[loopID]
+	if m == nil {
+		m = map[uint64]depRecord{}
+		d.last[loopID] = m
+	}
+	cur := d.iter[loopID]
+	for off := int64(0); off < width; off += 8 {
+		w := addr + uint64(off)
+		w &^= 7 // word granularity
+		if rec, ok := m[w]; ok && rec.iter != cur && (rec.write || write) {
+			d.observed[loopID] = true
+			d.conflicts[loopID]++
+		}
+		if rec, ok := m[w]; !ok || rec.iter != cur || write || rec.write {
+			m[w] = depRecord{iter: cur, write: write || (ok && rec.write && rec.iter == cur)}
+		}
+	}
+}
+
+// Observed returns the loops with at least one profiled cross-iteration
+// dependence.
+func (d *Dependence) Observed() map[int]bool {
+	out := make(map[int]bool, len(d.observed))
+	for id := range d.observed {
+		out[id] = true
+	}
+	return out
+}
+
+// Conflicts returns the dependence event count for a loop.
+func (d *Dependence) Conflicts(loopID int) int64 { return d.conflicts[loopID] }
+
+// ExcallStats aggregates PROF_EXCALL profiling: instruction and memory
+// access counts inside external calls (paper §III-B reports these for
+// bwaves' pow call).
+type ExcallStats struct {
+	Calls  int64
+	Insts  int64
+	Reads  int64
+	Writes int64
+}
+
+// Excall accumulates per-call-site external call statistics.
+type Excall struct {
+	stats map[uint64]*ExcallStats
+	// activeSite is the call site currently being profiled (0 if none).
+	activeSite uint64
+}
+
+// NewExcall returns an empty external-call profile.
+func NewExcall() *Excall { return &Excall{stats: map[uint64]*ExcallStats{}} }
+
+// Start begins profiling the external call at site.
+func (e *Excall) Start(site uint64) {
+	e.activeSite = site
+	s := e.stats[site]
+	if s == nil {
+		s = &ExcallStats{}
+		e.stats[site] = s
+	}
+	s.Calls++
+}
+
+// Finish ends profiling of the active call.
+func (e *Excall) Finish() { e.activeSite = 0 }
+
+// Active reports whether an external call is being profiled.
+func (e *Excall) Active() bool { return e.activeSite != 0 }
+
+// StepInst attributes an executed instruction to the active call.
+func (e *Excall) StepInst() {
+	if s := e.stats[e.activeSite]; s != nil {
+		s.Insts++
+	}
+}
+
+// RecordMem attributes a memory access to the active call.
+func (e *Excall) RecordMem(write bool) {
+	s := e.stats[e.activeSite]
+	if s == nil {
+		return
+	}
+	if write {
+		s.Writes++
+	} else {
+		s.Reads++
+	}
+}
+
+// Stats returns the profile for a call site (nil if never executed).
+func (e *Excall) Stats(site uint64) *ExcallStats { return e.stats[site] }

@@ -1,0 +1,228 @@
+package rules
+
+import (
+	"fmt"
+
+	"janus/internal/guest"
+	"janus/internal/sym"
+)
+
+// Payload is the rule-specific data field. Concrete types below carry
+// exactly what each DBM handler needs; they serialise via the wire
+// format in encode.go.
+type Payload interface {
+	payloadKind() ID
+}
+
+// Policy is the thread-scheduling policy for a parallel loop (paper
+// §II-E: equal contiguous chunks when the trip count is known, small
+// round-robin chunks otherwise).
+type Policy uint8
+
+const (
+	// PolicyChunked gives each thread ceil(N/T) contiguous iterations.
+	PolicyChunked Policy = iota
+	// PolicyRoundRobin hands out fixed-size chunks in thread order.
+	PolicyRoundRobin
+)
+
+func (p Policy) String() string {
+	if p == PolicyChunked {
+		return "chunked"
+	}
+	return "round-robin"
+}
+
+// InductionSpec describes one induction variable for loop setup.
+type InductionSpec struct {
+	Reg  guest.Reg
+	Init sym.Expr
+	Step int64
+}
+
+// ReductionSpec describes one reduction register and its merge operator.
+type ReductionSpec struct {
+	Reg guest.Reg
+	Op  guest.Op
+}
+
+// TripSpec is the serialisable symbolic trip count.
+type TripSpec struct {
+	Known bool
+	Num   sym.Expr
+	Den   int64
+	Round sym.RoundMode
+}
+
+// Count evaluates the trip count against a register file reader.
+func (t TripSpec) Count(regs func(guest.Reg) uint64) (int64, bool) {
+	if !t.Known {
+		return 0, false
+	}
+	tr := sym.Trip{Num: t.Num, Den: t.Den, Round: t.Round}
+	return tr.Count(regs), true
+}
+
+// LoopInitData parameterises LOOP_INIT: everything a thread needs to
+// take its slice of the iteration space.
+type LoopInitData struct {
+	Inductions []InductionSpec
+	Reductions []ReductionSpec
+	Trip       TripSpec
+	Policy     Policy
+	// ChunkSize for the round-robin policy.
+	ChunkSize int64
+	// LoopStart is the address threads jump to (the loop header).
+	LoopStart uint64
+}
+
+func (LoopInitData) payloadKind() ID { return LOOP_INIT }
+
+// LoopFinishData parameterises LOOP_FINISH: reconstructing main-thread
+// state after the parallel region.
+type LoopFinishData struct {
+	Inductions []InductionSpec
+	Reductions []ReductionSpec
+	// LiveOut lists registers whose final value must be taken from the
+	// thread that executed the last iteration.
+	LiveOut []guest.Reg
+}
+
+func (LoopFinishData) payloadKind() ID { return LOOP_FINISH }
+
+// UpdateBoundData parameterises LOOP_UPDATE_BOUND: how the per-thread
+// iteration bound is installed.
+type UpdateBoundData struct {
+	// CmpAddr is the exit compare instruction.
+	CmpAddr uint64
+	// IsImm says the bound is an immediate in the compare (patched in
+	// the thread-private code cache); otherwise BoundReg holds it.
+	IsImm    bool
+	BoundReg guest.Reg
+	// IVReg is the induction register the compare tests.
+	IVReg guest.Reg
+	// Step of that induction variable.
+	Step int64
+	// Init is the induction's initial-value expression.
+	Init sym.Expr
+	// ExitOp is the conditional branch opcode ending the exit block.
+	ExitOp guest.Op
+}
+
+func (UpdateBoundData) payloadKind() ID { return LOOP_UPDATE_BOUND }
+
+// MemPrivatiseData redirects a memory access to thread-private storage.
+type MemPrivatiseData struct {
+	// Slot is the private-storage slot index within the thread's TLS.
+	Slot int32
+	// Size of the privatised object in bytes.
+	Size int64
+	// SharedAddr is the cell's invariant address expression, used to
+	// copy the final private value back to shared memory at LOOP_FINISH.
+	SharedAddr sym.Expr
+}
+
+func (MemPrivatiseData) payloadKind() ID { return MEM_PRIVATISE }
+
+// MemMainStackData redirects a read-only stack access to the main
+// thread's stack.
+type MemMainStackData struct{}
+
+func (MemMainStackData) payloadKind() ID { return MEM_MAIN_STACK }
+
+// RangeSpec is one symbolic address range accessed by the loop (figure
+// 4's [base, base+size]). Given the loop-entry registers and the trip
+// count N, the accessed interval is
+//
+//	[ Base + LoOff + min(0, Stride·(N-1)),
+//	  Base + HiOff + max(0, Stride·(N-1)) )
+//
+// where HiOff already includes the access width.
+type RangeSpec struct {
+	Write  bool
+	Base   sym.Expr
+	Stride int64
+	LoOff  int64
+	HiOff  int64
+}
+
+// Interval evaluates the accessed address interval.
+func (rg RangeSpec) Interval(regs func(r guest.Reg) uint64, trip int64) (lo, hi int64) {
+	base := rg.Base.Eval(regs, 0)
+	span := rg.Stride * (trip - 1)
+	if trip <= 0 {
+		span = 0
+	}
+	lo = base + rg.LoOff
+	hi = base + rg.HiOff
+	if span < 0 {
+		lo += span
+	} else {
+		hi += span
+	}
+	return lo, hi
+}
+
+// BoundsCheckData parameterises MEM_BOUNDS_CHECK: the runtime
+// array-base check guarding a parallelised loop. Parallel execution is
+// allowed only if no write range overlaps any other range.
+type BoundsCheckData struct {
+	Ranges []RangeSpec
+}
+
+func (BoundsCheckData) payloadKind() ID { return MEM_BOUNDS_CHECK }
+
+// NumChecks returns the number of pairwise overlap tests the check
+// performs (the paper's Table I metric counts the ranges involved).
+func (d BoundsCheckData) NumChecks() int { return len(d.Ranges) }
+
+// SpillRegData spills or recovers a register set to/from TLS.
+type SpillRegData struct {
+	Regs []guest.Reg
+}
+
+func (SpillRegData) payloadKind() ID { return MEM_SPILL_REG }
+
+// TxData marks software-transaction boundaries around dynamically
+// discovered code (shared-library calls).
+type TxData struct {
+	// CallTarget is the PLT address being guarded (TX_START only).
+	CallTarget uint64
+}
+
+func (TxData) payloadKind() ID { return TX_START }
+
+// ThreadData parameterises THREAD_SCHEDULE / THREAD_YIELD.
+type ThreadData struct {
+	// Target is the code address scheduled threads jump to.
+	Target uint64
+}
+
+func (ThreadData) payloadKind() ID { return THREAD_SCHEDULE }
+
+// ProfLoopData parameterises the loop-profiling rules.
+type ProfLoopData struct{}
+
+func (ProfLoopData) payloadKind() ID { return PROF_LOOP_START }
+
+// ProfMemData parameterises PROF_MEM_ACCESS.
+type ProfMemData struct{}
+
+func (ProfMemData) payloadKind() ID { return PROF_MEM_ACCESS }
+
+// ProfExcallData parameterises PROF_EXCALL_START/FINISH.
+type ProfExcallData struct {
+	// Target is the PLT address of the external call.
+	Target uint64
+}
+
+func (ProfExcallData) payloadKind() ID { return PROF_EXCALL_START }
+
+func payloadName(p Payload) string {
+	if p == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%T", p)
+}
+
+var _ = payloadName

@@ -1,0 +1,351 @@
+// Package ssa builds static single assignment form over the recovered
+// CFG. Registers and the flags register are abstracted into versioned
+// values, exactly as the paper's analyser "abstracts all register, stack
+// and absolute memory locations into versioned variables in SSA form".
+// Phi nodes are placed with dominance frontiers and renamed over the
+// dominator tree. The symbolic-expression layer (internal/sym) consumes
+// the def-use chains produced here.
+package ssa
+
+import (
+	"fmt"
+
+	"janus/internal/cfg"
+	"janus/internal/guest"
+)
+
+// loc indexes an SSA-tracked storage location: GPRs 0..16 (16 = TLS)
+// then flags.
+type loc int
+
+const (
+	locFlags loc = guest.NumGPR + 1
+	numLocs      = int(locFlags) + 1
+)
+
+func regLoc(r guest.Reg) loc { return loc(r) }
+
+// ValueKind discriminates how a Value is defined.
+type ValueKind uint8
+
+const (
+	// Param is a location's value on function entry.
+	Param ValueKind = iota
+	// InstDef is a definition by an ordinary instruction.
+	InstDef
+	// PhiDef is a phi node at a join point.
+	PhiDef
+)
+
+// Value is one SSA value.
+type Value struct {
+	ID   int
+	Kind ValueKind
+	// Reg is the architectural location this value versions
+	// (guest.RegNone+flags handled via IsFlags).
+	Reg     guest.Reg
+	IsFlags bool
+	// Block and InstIdx give the defining instruction for InstDef, or
+	// the owning block for PhiDef.
+	Block   *cfg.Block
+	InstIdx int
+	// Inst is a copy of the defining instruction (InstDef only).
+	Inst guest.Inst
+	// Args are phi arguments, parallel to Block.Preds (PhiDef only).
+	Args []*Value
+}
+
+func (v *Value) String() string {
+	where := "param"
+	switch v.Kind {
+	case InstDef:
+		where = fmt.Sprintf("%#x", v.Block.InstAddr(v.InstIdx))
+	case PhiDef:
+		where = fmt.Sprintf("phi@%#x", v.Block.Addr)
+	}
+	if v.IsFlags {
+		return fmt.Sprintf("flags_%d(%s)", v.ID, where)
+	}
+	return fmt.Sprintf("%s_%d(%s)", v.Reg, v.ID, where)
+}
+
+// InstRef names an instruction by block and index.
+type InstRef struct {
+	Block *cfg.Block
+	Idx   int
+}
+
+// Addr returns the instruction's code address.
+func (r InstRef) Addr() uint64 { return r.Block.InstAddr(r.Idx) }
+
+// Inst returns the referenced instruction.
+func (r InstRef) Inst() guest.Inst { return r.Block.Insts[r.Idx] }
+
+// SSA is the result of construction for one function.
+type SSA struct {
+	Fn *cfg.Func
+	// RegUse gives, for each instruction, the SSA value reaching each
+	// register it reads.
+	RegUse map[InstRef]map[guest.Reg]*Value
+	// DefsAt gives the values defined by each instruction.
+	DefsAt map[InstRef][]*Value
+	// Phis lists the phi values at each block.
+	Phis map[*cfg.Block][]*Value
+	// Params are the entry values of each register.
+	Params map[guest.Reg]*Value
+	// EntryState gives the value of every register at entry to each
+	// block (after the block's phis). The symbolic layer uses it to find
+	// the values reaching a loop header.
+	EntryState map[*cfg.Block]map[guest.Reg]*Value
+	// LiveOut is the set of registers live out of each block.
+	LiveOut map[*cfg.Block]map[guest.Reg]bool
+
+	nextID int
+}
+
+// Build constructs SSA form for fn.
+func Build(fn *cfg.Func) *SSA {
+	s := &SSA{
+		Fn:         fn,
+		RegUse:     make(map[InstRef]map[guest.Reg]*Value),
+		DefsAt:     make(map[InstRef][]*Value),
+		Phis:       make(map[*cfg.Block][]*Value),
+		Params:     make(map[guest.Reg]*Value),
+		EntryState: make(map[*cfg.Block]map[guest.Reg]*Value),
+		LiveOut:    liveness(fn),
+	}
+
+	// 1. Collect blocks defining each location.
+	defBlocks := make([][]*cfg.Block, numLocs)
+	for _, b := range fn.Blocks {
+		seen := make(map[loc]bool)
+		for _, in := range b.Insts {
+			for _, d := range in.Defs() {
+				if l, ok := locOf(d); ok && !seen[l] {
+					seen[l] = true
+					defBlocks[l] = append(defBlocks[l], b)
+				}
+			}
+		}
+	}
+
+	// 2. Phi placement via dominance frontiers (minimal SSA).
+	df := fn.DominanceFrontier()
+	phiLocs := make(map[*cfg.Block]map[loc]*Value)
+	for _, b := range fn.Blocks {
+		phiLocs[b] = make(map[loc]*Value)
+	}
+	for l := 0; l < numLocs; l++ {
+		work := append([]*cfg.Block(nil), defBlocks[l]...)
+		inWork := make(map[*cfg.Block]bool)
+		for _, b := range work {
+			inWork[b] = true
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, f := range df[b] {
+				if _, done := phiLocs[f][loc(l)]; done {
+					continue
+				}
+				phi := s.newValue(PhiDef, loc(l))
+				phi.Block = f
+				phi.Args = make([]*Value, len(f.Preds))
+				phiLocs[f][loc(l)] = phi
+				s.Phis[f] = append(s.Phis[f], phi)
+				if !inWork[f] {
+					inWork[f] = true
+					work = append(work, f)
+				}
+			}
+		}
+	}
+
+	// 3. Renaming over the dominator tree.
+	children := make(map[*cfg.Block][]*cfg.Block)
+	for _, b := range fn.Blocks {
+		if id := fn.Idom(b); id != nil {
+			children[id] = append(children[id], b)
+		}
+	}
+	cur := make([]*Value, numLocs)
+	// Entry values.
+	for r := guest.Reg(0); r <= guest.RegTLS; r++ {
+		v := s.newValue(Param, regLoc(r))
+		s.Params[r] = v
+		cur[regLoc(r)] = v
+	}
+	cur[locFlags] = s.newValue(Param, locFlags)
+
+	var rename func(b *cfg.Block, cur []*Value)
+	rename = func(b *cfg.Block, cur []*Value) {
+		local := append([]*Value(nil), cur...)
+		for l, phi := range phiLocs[b] {
+			local[l] = phi
+		}
+		entry := make(map[guest.Reg]*Value, guest.NumGPR)
+		for r := guest.Reg(0); r < guest.NumGPR; r++ {
+			entry[r] = local[regLoc(r)]
+		}
+		s.EntryState[b] = entry
+		for i, in := range b.Insts {
+			ref := InstRef{Block: b, Idx: i}
+			for _, u := range in.Uses() {
+				if u.Kind == guest.LocReg {
+					if s.RegUse[ref] == nil {
+						s.RegUse[ref] = make(map[guest.Reg]*Value)
+					}
+					s.RegUse[ref][u.Reg] = local[regLoc(u.Reg)]
+				}
+			}
+			for _, d := range in.Defs() {
+				l, ok := locOf(d)
+				if !ok {
+					continue
+				}
+				v := s.newValue(InstDef, l)
+				v.Block = b
+				v.InstIdx = i
+				v.Inst = in
+				local[l] = v
+				s.DefsAt[ref] = append(s.DefsAt[ref], v)
+			}
+		}
+		for _, succ := range b.Succs {
+			pi := predIndex(succ, b)
+			for l, phi := range phiLocs[succ] {
+				phi.Args[pi] = local[l]
+			}
+		}
+		for _, c := range children[b] {
+			rename(c, local)
+		}
+	}
+	if fn.Entry != nil {
+		rename(fn.Entry, cur)
+	}
+	return s
+}
+
+func (s *SSA) newValue(k ValueKind, l loc) *Value {
+	s.nextID++
+	v := &Value{ID: s.nextID, Kind: k}
+	if l == locFlags {
+		v.IsFlags = true
+		v.Reg = guest.RegNone
+	} else {
+		v.Reg = guest.Reg(l)
+	}
+	return v
+}
+
+func locOf(l guest.Loc) (loc, bool) {
+	switch l.Kind {
+	case guest.LocReg:
+		if l.Reg <= guest.RegTLS {
+			return regLoc(l.Reg), true
+		}
+	case guest.LocFlags:
+		return locFlags, true
+	}
+	return 0, false
+}
+
+func predIndex(b, pred *cfg.Block) int {
+	for i, p := range b.Preds {
+		if p == pred {
+			return i
+		}
+	}
+	return -1
+}
+
+// UseOf returns the SSA value reaching register r at instruction ref.
+func (s *SSA) UseOf(ref InstRef, r guest.Reg) *Value {
+	if m := s.RegUse[ref]; m != nil {
+		return m[r]
+	}
+	return nil
+}
+
+// DefOfReg returns the value instruction ref defines for register r,
+// or nil.
+func (s *SSA) DefOfReg(ref InstRef, r guest.Reg) *Value {
+	for _, v := range s.DefsAt[ref] {
+		if !v.IsFlags && v.Reg == r {
+			return v
+		}
+	}
+	return nil
+}
+
+// PhiFor returns the phi value for register r at block b, or nil.
+func (s *SSA) PhiFor(b *cfg.Block, r guest.Reg) *Value {
+	for _, phi := range s.Phis[b] {
+		if !phi.IsFlags && phi.Reg == r {
+			return phi
+		}
+	}
+	return nil
+}
+
+// liveness computes per-block live-out register sets with the standard
+// backwards iterative dataflow.
+func liveness(fn *cfg.Func) map[*cfg.Block]map[guest.Reg]bool {
+	gen := make(map[*cfg.Block]map[guest.Reg]bool)
+	kill := make(map[*cfg.Block]map[guest.Reg]bool)
+	for _, b := range fn.Blocks {
+		g, k := map[guest.Reg]bool{}, map[guest.Reg]bool{}
+		for _, in := range b.Insts {
+			for _, u := range in.Uses() {
+				if u.Kind == guest.LocReg && !k[u.Reg] {
+					g[u.Reg] = true
+				}
+			}
+			for _, d := range in.Defs() {
+				if d.Kind == guest.LocReg {
+					k[d.Reg] = true
+				}
+			}
+		}
+		gen[b], kill[b] = g, k
+	}
+	liveIn := make(map[*cfg.Block]map[guest.Reg]bool)
+	liveOut := make(map[*cfg.Block]map[guest.Reg]bool)
+	for _, b := range fn.Blocks {
+		liveIn[b] = map[guest.Reg]bool{}
+		liveOut[b] = map[guest.Reg]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(fn.Blocks) - 1; i >= 0; i-- {
+			b := fn.Blocks[i]
+			out := map[guest.Reg]bool{}
+			for _, succ := range b.Succs {
+				for r := range liveIn[succ] {
+					out[r] = true
+				}
+			}
+			in := map[guest.Reg]bool{}
+			for r := range gen[b] {
+				in[r] = true
+			}
+			for r := range out {
+				if !kill[b][r] {
+					in[r] = true
+				}
+			}
+			if len(out) != len(liveOut[b]) || len(in) != len(liveIn[b]) {
+				changed = true
+			}
+			liveOut[b], liveIn[b] = out, in
+		}
+	}
+	return liveOut
+}
+
+// LiveOutOf reports whether register r is live out of block b.
+func (s *SSA) LiveOutOf(b *cfg.Block, r guest.Reg) bool {
+	return s.LiveOut[b][r]
+}

@@ -1,0 +1,111 @@
+// Package stm is Janus' just-in-time word-based software transactional
+// memory with lazy value-based conflict checking (modelled on JudoSTM,
+// as the paper describes). There are no static STM API routines: the
+// DBM's TX_START/TX_FINISH handlers create transactions around
+// dynamically discovered code and reroute that code's memory accesses
+// through the transaction's buffers.
+//
+// A transaction buffers every store and records the value of every
+// load. Validation compares the recorded read values against shared
+// memory; commit replays the buffered writes. Threads commit in age
+// order (oldest first), and an aborted transaction rolls back to its
+// register checkpoint and re-executes — non-speculatively once the
+// thread is the oldest, which always succeeds.
+package stm
+
+import (
+	"janus/internal/guest"
+	"janus/internal/vm"
+)
+
+// Checkpoint is the register state captured at TX_START for rollback.
+type Checkpoint struct {
+	GPR [guest.NumGPR + 1]uint64
+	ZF  bool
+	LF  bool
+	PC  uint64
+}
+
+// Tx is one running transaction.
+type Tx struct {
+	// shared is the memory the transaction validates against and
+	// commits into.
+	shared vm.Bus
+	// reads records the first value seen for each word read.
+	reads map[uint64]uint64
+	// writes buffers stores (latest value per word).
+	writes map[uint64]uint64
+	// order preserves write ordering for deterministic commits.
+	order []uint64
+	// cp is the rollback checkpoint.
+	cp Checkpoint
+
+	// Reads/Writes/Insts count accesses for the speculation-cost model
+	// and the abort heuristic.
+	NumReads  int64
+	NumWrites int64
+}
+
+// Begin starts a transaction over shared memory with the given
+// checkpoint.
+func Begin(shared vm.Bus, cp Checkpoint) *Tx {
+	return &Tx{
+		shared: shared,
+		reads:  map[uint64]uint64{},
+		writes: map[uint64]uint64{},
+		cp:     cp,
+	}
+}
+
+// Checkpoint returns the rollback state.
+func (t *Tx) Checkpoint() Checkpoint { return t.cp }
+
+// Read64 implements vm.Bus: reads hit the write buffer first, then
+// shared memory, recording the observed value for validation.
+func (t *Tx) Read64(addr uint64) uint64 {
+	t.NumReads++
+	if v, ok := t.writes[addr]; ok {
+		return v
+	}
+	v := t.shared.Read64(addr)
+	if _, ok := t.reads[addr]; !ok {
+		t.reads[addr] = v
+	}
+	return v
+}
+
+// Write64 implements vm.Bus: stores are buffered.
+func (t *Tx) Write64(addr uint64, v uint64) {
+	t.NumWrites++
+	if _, ok := t.writes[addr]; !ok {
+		t.order = append(t.order, addr)
+	}
+	t.writes[addr] = v
+}
+
+// Validate performs lazy value-based conflict checking: every recorded
+// read must still hold the value observed during the transaction.
+func (t *Tx) Validate() bool {
+	for addr, v := range t.reads {
+		if t.shared.Read64(addr) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Commit writes the buffered stores to shared memory in program order.
+// The caller must have validated and must be the oldest thread.
+func (t *Tx) Commit() {
+	for _, addr := range t.order {
+		t.shared.Write64(addr, t.writes[addr])
+	}
+}
+
+// WriteSetSize returns the number of distinct buffered words.
+func (t *Tx) WriteSetSize() int { return len(t.writes) }
+
+// ReadSetSize returns the number of distinct validated words.
+func (t *Tx) ReadSetSize() int { return len(t.reads) }
+
+var _ vm.Bus = (*Tx)(nil)

@@ -1,0 +1,151 @@
+package stm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"janus/internal/vm"
+)
+
+func newTx(mem *vm.Memory) *Tx {
+	return Begin(mem, Checkpoint{PC: 0x1000})
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	mem := vm.NewMemory()
+	mem.Write64(0x100, 7)
+	tx := newTx(mem)
+	if v := tx.Read64(0x100); v != 7 {
+		t.Fatalf("read %d", v)
+	}
+	tx.Write64(0x100, 42)
+	if v := tx.Read64(0x100); v != 42 {
+		t.Fatalf("buffered read %d", v)
+	}
+	// Shared memory untouched until commit.
+	if v := mem.Read64(0x100); v != 7 {
+		t.Fatalf("shared changed early: %d", v)
+	}
+}
+
+func TestValidateAndCommit(t *testing.T) {
+	mem := vm.NewMemory()
+	mem.Write64(0x200, 1)
+	tx := newTx(mem)
+	_ = tx.Read64(0x200)
+	tx.Write64(0x300, 99)
+	if !tx.Validate() {
+		t.Fatal("unconflicted tx failed validation")
+	}
+	tx.Commit()
+	if mem.Read64(0x300) != 99 {
+		t.Fatal("commit lost write")
+	}
+}
+
+func TestConflictDetected(t *testing.T) {
+	mem := vm.NewMemory()
+	mem.Write64(0x200, 1)
+	tx := newTx(mem)
+	_ = tx.Read64(0x200)
+	// Another thread changes the value under us.
+	mem.Write64(0x200, 2)
+	if tx.Validate() {
+		t.Fatal("conflict not detected")
+	}
+}
+
+func TestValueBasedValidationToleratesSilentStores(t *testing.T) {
+	// Lazy value-based checking (JudoSTM): a write that restores the
+	// same value does not abort the transaction.
+	mem := vm.NewMemory()
+	mem.Write64(0x200, 5)
+	tx := newTx(mem)
+	_ = tx.Read64(0x200)
+	mem.Write64(0x200, 9)
+	mem.Write64(0x200, 5) // restored
+	if !tx.Validate() {
+		t.Fatal("value-based validation should tolerate silent stores")
+	}
+}
+
+func TestCommitOrderPreserved(t *testing.T) {
+	mem := vm.NewMemory()
+	tx := newTx(mem)
+	tx.Write64(0x100, 1)
+	tx.Write64(0x108, 2)
+	tx.Write64(0x100, 3) // overwrite: latest value wins, order stable
+	tx.Commit()
+	if mem.Read64(0x100) != 3 || mem.Read64(0x108) != 2 {
+		t.Fatal("commit order/values wrong")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := Checkpoint{PC: 0xabc, ZF: true}
+	cp.GPR[3] = 77
+	tx := Begin(vm.NewMemory(), cp)
+	got := tx.Checkpoint()
+	if got.PC != 0xabc || !got.ZF || got.GPR[3] != 77 {
+		t.Fatalf("checkpoint mangled: %+v", got)
+	}
+}
+
+func TestSetSizes(t *testing.T) {
+	mem := vm.NewMemory()
+	tx := newTx(mem)
+	_ = tx.Read64(0x10)
+	_ = tx.Read64(0x10) // same word counted once in the read set
+	tx.Write64(0x20, 1)
+	tx.Write64(0x28, 2)
+	if tx.ReadSetSize() != 1 || tx.WriteSetSize() != 2 {
+		t.Fatalf("sets: r=%d w=%d", tx.ReadSetSize(), tx.WriteSetSize())
+	}
+	if tx.NumReads != 2 || tx.NumWrites != 2 {
+		t.Fatalf("counters: r=%d w=%d", tx.NumReads, tx.NumWrites)
+	}
+}
+
+func TestTxIsolationProperty(t *testing.T) {
+	// Property: for random operation sequences without external
+	// interference, commit makes shared memory equal to what direct
+	// execution would have produced.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shared := vm.NewMemory()
+		direct := vm.NewMemory()
+		for i := 0; i < 16; i++ {
+			addr := uint64(rng.Intn(8)) * 8
+			v := rng.Uint64()
+			shared.Write64(addr, v)
+			direct.Write64(addr, v)
+		}
+		tx := newTx(shared)
+		for i := 0; i < 32; i++ {
+			addr := uint64(rng.Intn(8)) * 8
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64()
+				tx.Write64(addr, v)
+				direct.Write64(addr, v)
+			} else {
+				if tx.Read64(addr) != direct.Read64(addr) {
+					return false
+				}
+			}
+		}
+		if !tx.Validate() {
+			return false
+		}
+		tx.Commit()
+		for a := uint64(0); a < 64; a += 8 {
+			if shared.Read64(a) != direct.Read64(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

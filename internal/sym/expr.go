@@ -1,0 +1,184 @@
+// Package sym implements the symbolic layer of the static analyser:
+// canonicalised linear expressions over loop-entry register values, the
+// cyclic-phi induction-variable recogniser, loop-bound solving, and
+// symbolic memory-address construction with range propagation. It is the
+// machinery behind the paper's "canonicalised symbolic polynomial" and
+// figure 4's MEM_BOUNDS_CHECK generation.
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"janus/internal/guest"
+)
+
+// Expr is a canonical linear polynomial
+//
+//	Const + Σ Regs[r]·entry(r) + Iter·i
+//
+// where entry(r) is the value register r holds when the loop is entered
+// and i is the canonical iteration index (0-based). Expressions with
+// Unknown set could not be canonicalised (opaque loads, non-linear
+// arithmetic, values varying in an inner loop).
+type Expr struct {
+	Unknown bool
+	Const   int64
+	Regs    map[guest.Reg]int64
+	Iter    int64
+}
+
+// UnknownExpr is the non-canonicalisable expression.
+func UnknownExpr() Expr { return Expr{Unknown: true} }
+
+// ConstExpr returns the constant polynomial c.
+func ConstExpr(c int64) Expr { return Expr{Const: c} }
+
+// RegExpr returns the polynomial naming loop-entry register r.
+func RegExpr(r guest.Reg) Expr {
+	return Expr{Regs: map[guest.Reg]int64{r: 1}}
+}
+
+// IterExpr returns coeff·i.
+func IterExpr(coeff int64) Expr { return Expr{Iter: coeff} }
+
+// IsConst reports whether e is a compile-time constant.
+func (e Expr) IsConst() bool {
+	return !e.Unknown && e.Iter == 0 && len(e.Regs) == 0
+}
+
+// IsInvariant reports whether e does not vary with the iteration index.
+func (e Expr) IsInvariant() bool { return !e.Unknown && e.Iter == 0 }
+
+// Invariant returns e with the iterator term removed: the loop-invariant
+// "base" part of an address polynomial.
+func (e Expr) Invariant() Expr {
+	out := e
+	out.Iter = 0
+	out.Regs = cloneRegs(e.Regs)
+	return out
+}
+
+func cloneRegs(m map[guest.Reg]int64) map[guest.Reg]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[guest.Reg]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	if e.Unknown || o.Unknown {
+		return UnknownExpr()
+	}
+	out := Expr{Const: e.Const + o.Const, Iter: e.Iter + o.Iter, Regs: cloneRegs(e.Regs)}
+	for r, c := range o.Regs {
+		if out.Regs == nil {
+			out.Regs = map[guest.Reg]int64{}
+		}
+		out.Regs[r] += c
+		if out.Regs[r] == 0 {
+			delete(out.Regs, r)
+		}
+	}
+	return out
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr { return e.Add(o.Scale(-1)) }
+
+// Scale returns k·e.
+func (e Expr) Scale(k int64) Expr {
+	if e.Unknown {
+		return e
+	}
+	if k == 0 {
+		return Expr{}
+	}
+	out := Expr{Const: e.Const * k, Iter: e.Iter * k}
+	if len(e.Regs) > 0 {
+		out.Regs = make(map[guest.Reg]int64, len(e.Regs))
+		for r, c := range e.Regs {
+			out.Regs[r] = c * k
+		}
+	}
+	return out
+}
+
+// Mul returns e·o when at least one side is constant; otherwise the
+// product is non-linear and Unknown.
+func (e Expr) Mul(o Expr) Expr {
+	switch {
+	case e.Unknown || o.Unknown:
+		return UnknownExpr()
+	case e.IsConst():
+		return o.Scale(e.Const)
+	case o.IsConst():
+		return e.Scale(o.Const)
+	}
+	return UnknownExpr()
+}
+
+// Equal reports structural equality of two canonical polynomials.
+func (e Expr) Equal(o Expr) bool {
+	if e.Unknown || o.Unknown {
+		return false
+	}
+	if e.Const != o.Const || e.Iter != o.Iter || len(e.Regs) != len(o.Regs) {
+		return false
+	}
+	for r, c := range e.Regs {
+		if o.Regs[r] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval computes the polynomial's value given the loop-entry register
+// file and an iteration index.
+func (e Expr) Eval(regs func(guest.Reg) uint64, iter int64) int64 {
+	v := e.Const + e.Iter*iter
+	for r, c := range e.Regs {
+		v += c * int64(regs(r))
+	}
+	return v
+}
+
+// String renders the polynomial in a stable order.
+func (e Expr) String() string {
+	if e.Unknown {
+		return "⊥"
+	}
+	var parts []string
+	regs := make([]guest.Reg, 0, len(e.Regs))
+	for r := range e.Regs {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	for _, r := range regs {
+		c := e.Regs[r]
+		switch c {
+		case 1:
+			parts = append(parts, r.String()+"_0")
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s_0", c, r))
+		}
+	}
+	if e.Iter != 0 {
+		if e.Iter == 1 {
+			parts = append(parts, "i")
+		} else {
+			parts = append(parts, fmt.Sprintf("%d*i", e.Iter))
+		}
+	}
+	if e.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", e.Const))
+	}
+	return strings.Join(parts, "+")
+}

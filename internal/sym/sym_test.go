@@ -1,0 +1,349 @@
+package sym
+
+import (
+	"testing"
+	"testing/quick"
+
+	"janus/internal/asm"
+	"janus/internal/cfg"
+	"janus/internal/guest"
+	"janus/internal/ssa"
+)
+
+// analyzeFirstLoop assembles the program built by build, then returns
+// the symbolic analysis of the first loop in main.
+func analyzeFirstLoop(t *testing.T, build func(f *asm.FuncBuilder)) *Analysis {
+	t.Helper()
+	b := asm.NewBuilder("t")
+	b.Data("arr", 8*1024)
+	b.Data("dst", 8*1024)
+	f := b.Func("main")
+	build(f)
+	exe, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.FuncByAddr[exe.Entry]
+	if len(main.Loops) == 0 {
+		t.Fatal("no loops found")
+	}
+	s := ssa.Build(main)
+	return Analyze(main.Loops[0], s)
+}
+
+// emitSimpleLoop: for (i = 0; i < 100; i++) dst[i] = a[i] * 3
+func emitSimpleLoop(f *asm.FuncBuilder) {
+	loop, done := f.NewLabel(), f.NewLabel()
+	f.MoviData(guest.R8, "arr", 0)
+	f.MoviData(guest.R9, "dst", 0)
+	f.Movi(guest.R1, 0)
+	f.Bind(loop)
+	f.Cmpi(guest.R1, 100)
+	f.J(guest.JGE, done)
+	f.Ld(guest.R3, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8})
+	f.OpI(guest.IMULI, guest.R3, 3)
+	f.St(guest.Mem{Base: guest.R9, Index: guest.R1, Scale: 8}, guest.R3)
+	f.OpI(guest.ADDI, guest.R1, 1)
+	f.J(guest.JMP, loop)
+	f.Bind(done)
+	f.Halt()
+}
+
+func TestInductionRecognition(t *testing.T) {
+	a := analyzeFirstLoop(t, emitSimpleLoop)
+	if a.Irregular {
+		t.Fatalf("irregular: %s", a.Reason)
+	}
+	if len(a.Inductions) != 1 {
+		t.Fatalf("inductions: %d", len(a.Inductions))
+	}
+	iv := a.Inductions[0]
+	if iv.Reg != guest.R1 || iv.Step != 1 {
+		t.Fatalf("iv = %+v", iv)
+	}
+	if !iv.Init.IsConst() || iv.Init.Const != 0 {
+		t.Fatalf("init = %v", iv.Init)
+	}
+}
+
+func TestTripCountStatic(t *testing.T) {
+	a := analyzeFirstLoop(t, emitSimpleLoop)
+	if a.Trip == nil {
+		t.Fatal("no trip")
+	}
+	n, static := a.Trip.IsStatic()
+	if !static || n != 100 {
+		t.Fatalf("trip = %d static=%v", n, static)
+	}
+}
+
+func TestAccessStrides(t *testing.T) {
+	a := analyzeFirstLoop(t, emitSimpleLoop)
+	if len(a.Accesses) != 2 {
+		t.Fatalf("accesses: %d", len(a.Accesses))
+	}
+	var rd, wr *Access
+	for i := range a.Accesses {
+		if a.Accesses[i].Write {
+			wr = &a.Accesses[i]
+		} else {
+			rd = &a.Accesses[i]
+		}
+	}
+	if rd == nil || wr == nil {
+		t.Fatal("missing read or write access")
+	}
+	if rd.Addr.Iter != 8 || wr.Addr.Iter != 8 {
+		t.Fatalf("strides: rd=%d wr=%d", rd.Addr.Iter, wr.Addr.Iter)
+	}
+	// MoviData loads an absolute address, so the bases fold to the
+	// constant data addresses and must differ by the two arrays' layout.
+	if !rd.Addr.Invariant().IsConst() || !wr.Addr.Invariant().IsConst() {
+		t.Fatalf("bases should be constant: rd=%v wr=%v", rd.Addr, wr.Addr)
+	}
+	if rd.Addr.Const == wr.Addr.Const {
+		t.Fatal("distinct arrays folded to same base")
+	}
+}
+
+func TestRuntimeBoundLoop(t *testing.T) {
+	// Bound comes from a register (n in R7) loaded from memory, so the
+	// trip count is only computable at run time.
+	a := analyzeFirstLoop(t, func(f *asm.FuncBuilder) {
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.LdData(guest.R7, "arr", 8) // opaque runtime value
+		f.MoviData(guest.R8, "arr", 0)
+		f.Movi(guest.R1, 0)
+		f.Bind(loop)
+		f.Cmp(guest.R1, guest.R7)
+		f.J(guest.JGE, done)
+		f.St(guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8}, guest.R1)
+		f.OpI(guest.ADDI, guest.R1, 1)
+		f.J(guest.JMP, loop)
+		f.Bind(done)
+		f.Halt()
+	})
+	if a.Trip == nil {
+		t.Fatal("trip unsolved")
+	}
+	if _, static := a.Trip.IsStatic(); static {
+		t.Fatal("register bound must not be static")
+	}
+	if a.BoundIsImm || a.BoundReg != guest.R7 {
+		t.Fatalf("bound operand: imm=%v reg=%v", a.BoundIsImm, a.BoundReg)
+	}
+	// Evaluating with r7 = 5000 yields 5000 iterations.
+	n := a.Trip.Count(func(r guest.Reg) uint64 {
+		if r == guest.R7 {
+			return 5000
+		}
+		return 0
+	})
+	if n != 5000 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestDownCountingLoop(t *testing.T) {
+	// for (i = 64; i > 0; i--)
+	a := analyzeFirstLoop(t, func(f *asm.FuncBuilder) {
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.Movi(guest.R1, 64)
+		f.MoviData(guest.R8, "arr", 0)
+		f.Bind(loop)
+		f.Cmpi(guest.R1, 0)
+		f.J(guest.JLE, done)
+		f.St(guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8}, guest.R1)
+		f.OpI(guest.SUBI, guest.R1, 1)
+		f.J(guest.JMP, loop)
+		f.Bind(done)
+		f.Halt()
+	})
+	if a.Trip == nil {
+		t.Fatalf("down-counting trip unsolved: %s", a.Reason)
+	}
+	n, static := a.Trip.IsStatic()
+	if !static || n != 64 {
+		t.Fatalf("trip = %d", n)
+	}
+	if a.MainIV.Step != -1 {
+		t.Fatalf("step = %d", a.MainIV.Step)
+	}
+}
+
+func TestStridedLoop(t *testing.T) {
+	// for (i = 0; i < 100; i += 4) — JGE exit, ceil division.
+	a := analyzeFirstLoop(t, func(f *asm.FuncBuilder) {
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.Movi(guest.R1, 0)
+		f.MoviData(guest.R8, "arr", 0)
+		f.Bind(loop)
+		f.Cmpi(guest.R1, 99)
+		f.J(guest.JG, done)
+		f.St(guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8}, guest.R1)
+		f.OpI(guest.ADDI, guest.R1, 4)
+		f.J(guest.JMP, loop)
+		f.Bind(done)
+		f.Halt()
+	})
+	n, static := a.Trip.IsStatic()
+	if !static || n != 25 {
+		t.Fatalf("trip = %d, want 25", n)
+	}
+}
+
+func TestReductionRecognition(t *testing.T) {
+	// sum += a[i]
+	a := analyzeFirstLoop(t, func(f *asm.FuncBuilder) {
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.MoviData(guest.R8, "arr", 0)
+		f.Movi(guest.R1, 0)
+		f.Movi(guest.R2, 0) // sum
+		f.Bind(loop)
+		f.Cmpi(guest.R1, 100)
+		f.J(guest.JGE, done)
+		f.Ld(guest.R3, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8})
+		f.Op(guest.ADD, guest.R2, guest.R3)
+		f.OpI(guest.ADDI, guest.R1, 1)
+		f.J(guest.JMP, loop)
+		f.Bind(done)
+		f.Movi(guest.R0, guest.SysWrite)
+		f.Mov(guest.R1, guest.R2)
+		f.Syscall()
+		f.Halt()
+	})
+	if len(a.Reductions) != 1 {
+		t.Fatalf("reductions: %d", len(a.Reductions))
+	}
+	red := a.Reductions[0]
+	if red.Reg != guest.R2 || red.Op != guest.ADD {
+		t.Fatalf("reduction = %+v", red)
+	}
+	// The reduction register must be reported live-out.
+	found := false
+	for _, r := range a.LiveOutRegs {
+		if r == guest.R2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("r2 not live-out: %v", a.LiveOutRegs)
+	}
+}
+
+func TestCarriedDependenceDetected(t *testing.T) {
+	// x = a[i] + x_prev pattern that is NOT a plain accumulation:
+	// here x is multiplied then stored, a genuine recurrence.
+	a := analyzeFirstLoop(t, func(f *asm.FuncBuilder) {
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.MoviData(guest.R8, "arr", 0)
+		f.Movi(guest.R1, 0)
+		f.Movi(guest.R2, 1)
+		f.Bind(loop)
+		f.Cmpi(guest.R1, 100)
+		f.J(guest.JGE, done)
+		f.Ld(guest.R3, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8})
+		f.Op(guest.IMUL, guest.R3, guest.R2) // uses carried r2
+		f.Mov(guest.R2, guest.R3)            // carries new value
+		f.OpI(guest.ADDI, guest.R2, 7)       // non-trivial chain
+		f.St(guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8}, guest.R2)
+		f.OpI(guest.ADDI, guest.R1, 1)
+		f.J(guest.JMP, loop)
+		f.Bind(done)
+		f.Halt()
+	})
+	if len(a.CarriedRegs) == 0 {
+		t.Fatal("carried register dependence not detected")
+	}
+}
+
+func TestUnknownAddressIsOpaque(t *testing.T) {
+	// Pointer-chasing load: addr comes from memory, unanalysable.
+	a := analyzeFirstLoop(t, func(f *asm.FuncBuilder) {
+		loop, done := f.NewLabel(), f.NewLabel()
+		f.MoviData(guest.R8, "arr", 0)
+		f.Movi(guest.R1, 0)
+		f.Bind(loop)
+		f.Cmpi(guest.R1, 100)
+		f.J(guest.JGE, done)
+		f.Ld(guest.R4, guest.Mem{Base: guest.R8, Index: guest.R1, Scale: 8})
+		f.Ld(guest.R5, guest.Mem{Base: guest.R4, Index: guest.RegNone, Scale: 1}) // *p
+		f.St(guest.Mem{Base: guest.R4, Index: guest.RegNone, Scale: 1}, guest.R5)
+		f.OpI(guest.ADDI, guest.R1, 1)
+		f.J(guest.JMP, loop)
+		f.Bind(done)
+		f.Halt()
+	})
+	unknown := 0
+	for _, acc := range a.Accesses {
+		if acc.Addr.Unknown {
+			unknown++
+		}
+	}
+	if unknown != 2 {
+		t.Fatalf("want 2 opaque accesses, got %d", unknown)
+	}
+}
+
+func TestExprAlgebra(t *testing.T) {
+	e := RegExpr(guest.R3).Scale(8).Add(ConstExpr(16)).Add(IterExpr(8))
+	if e.Regs[guest.R3] != 8 || e.Const != 16 || e.Iter != 8 {
+		t.Fatalf("expr = %+v", e)
+	}
+	if e.IsInvariant() || e.IsConst() {
+		t.Fatal("iter-carrying expr misclassified")
+	}
+	inv := e.Invariant()
+	if inv.Iter != 0 || !inv.IsInvariant() {
+		t.Fatal("Invariant() broken")
+	}
+	d := e.Sub(e)
+	if !d.IsConst() || d.Const != 0 {
+		t.Fatalf("x - x = %v", d)
+	}
+	if !UnknownExpr().Add(ConstExpr(1)).Unknown {
+		t.Fatal("unknown must absorb")
+	}
+	if !RegExpr(guest.R1).Mul(RegExpr(guest.R2)).Unknown {
+		t.Fatal("non-linear product must be unknown")
+	}
+}
+
+func TestExprEvalProperty(t *testing.T) {
+	f := func(c int64, cr int8, iter int16, rv uint32) bool {
+		e := ConstExpr(c).Add(RegExpr(guest.R4).Scale(int64(cr))).Add(IterExpr(3))
+		got := e.Eval(func(r guest.Reg) uint64 {
+			if r == guest.R4 {
+				return uint64(rv)
+			}
+			return 0
+		}, int64(iter))
+		want := c + int64(cr)*int64(rv) + 3*int64(iter)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprAddCommutesProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 int32) bool {
+		x := ConstExpr(int64(a1)).Add(RegExpr(guest.R2).Scale(int64(a2)))
+		y := IterExpr(int64(b1)).Add(RegExpr(guest.R5).Scale(int64(b2)))
+		return x.Add(y).Equal(y.Add(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripCountClampsToZero(t *testing.T) {
+	tr := Trip{Num: ConstExpr(-5), Den: 1, Round: RoundCeil}
+	if n := tr.Count(func(guest.Reg) uint64 { return 0 }); n != 0 {
+		t.Fatalf("negative trip = %d", n)
+	}
+}

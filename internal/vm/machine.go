@@ -1,0 +1,184 @@
+package vm
+
+import (
+	"fmt"
+
+	"janus/internal/guest"
+	"janus/internal/obj"
+)
+
+// Context is one hardware thread's architectural state plus its virtual
+// clock and instrumentation hooks.
+type Context struct {
+	// GPR holds the general-purpose registers; index guest.RegTLS (16)
+	// is the thread-local-storage base pseudo-register.
+	GPR [guest.NumGPR + 1]uint64
+	// VReg holds the packed vector registers.
+	VReg [guest.NumVReg][guest.VLEN]float64
+	// Flags from the last CMP/TEST.
+	ZF bool // zero
+	LF bool // signed less-than
+
+	PC     uint64
+	Halted bool
+	Exit   int64
+
+	// Cycles is the virtual clock: the accumulated cost-model latency of
+	// every instruction this context has executed.
+	Cycles int64
+	// Insts counts executed instructions.
+	Insts int64
+
+	// Bus routes memory accesses; defaults to the machine memory. The
+	// STM substitutes a buffering bus during speculation.
+	Bus Bus
+
+	// OnMem, when non-nil, observes every data memory access with its
+	// effective address. The dependence profiler hooks here.
+	OnMem func(addr uint64, write bool, width int64)
+
+	// ID is the Janus thread id (0 = main).
+	ID int
+}
+
+// Reg reads a register, honouring the TLS pseudo-register.
+func (c *Context) Reg(r guest.Reg) uint64 {
+	if r == guest.RegNone {
+		return 0
+	}
+	return c.GPR[r]
+}
+
+// SetReg writes a register.
+func (c *Context) SetReg(r guest.Reg, v uint64) {
+	if r == guest.RegNone {
+		return
+	}
+	c.GPR[r] = v
+}
+
+// EffAddr computes the effective address of a memory operand.
+func (c *Context) EffAddr(m guest.Mem) uint64 {
+	addr := uint64(m.Disp)
+	if m.Base != guest.RegNone {
+		addr += c.Reg(m.Base)
+	}
+	if m.Index != guest.RegNone {
+		addr += c.Reg(m.Index) * uint64(m.Scale)
+	}
+	return addr
+}
+
+// Machine is a loaded guest program: its memory image, code sources and
+// allocation state. Contexts execute against a machine.
+type Machine struct {
+	Exe  *obj.Executable
+	Libs []*obj.Library
+	Mem  *Memory
+
+	// decoded caches decoded instructions by address across exe and libs.
+	decoded map[uint64]guest.Inst
+
+	// pltTarget maps a PLT stub address to its resolved library address.
+	pltTarget map[uint64]uint64
+
+	// heapNext is the bump-allocation frontier for SysAlloc.
+	heapNext uint64
+
+	// Output collects values written by SysWrite/SysWriteF in order.
+	Output []uint64
+}
+
+// NewMachine loads exe and libs: copies the data section into memory and
+// resolves PLT stubs against library exports.
+func NewMachine(exe *obj.Executable, libs ...*obj.Library) (*Machine, error) {
+	m := &Machine{
+		Exe:       exe,
+		Libs:      libs,
+		Mem:       NewMemory(),
+		decoded:   make(map[uint64]guest.Inst),
+		pltTarget: make(map[uint64]uint64),
+		heapNext:  obj.DefaultHeapBase,
+	}
+	m.Mem.WriteBytes(exe.DataBase, exe.Data)
+	for _, im := range exe.Imports {
+		resolved := false
+		for _, lib := range libs {
+			if s, ok := lib.SymbolByName(im.Name); ok {
+				m.pltTarget[im.PLT] = s.Addr
+				resolved = true
+				break
+			}
+		}
+		if !resolved {
+			return nil, fmt.Errorf("vm: unresolved import %q", im.Name)
+		}
+	}
+	return m, nil
+}
+
+// NewContext returns a fresh context with its stack at top and PC at the
+// program entry.
+func (m *Machine) NewContext(id int, stackTop uint64) *Context {
+	c := &Context{ID: id, PC: m.Exe.Entry, Bus: m.Mem}
+	c.SetReg(guest.SP, stackTop)
+	return c
+}
+
+// FetchInst decodes the instruction at addr from the executable or a
+// library, resolving PLT stubs to their library targets.
+func (m *Machine) FetchInst(addr uint64) (guest.Inst, error) {
+	if in, ok := m.decoded[addr]; ok {
+		return in, nil
+	}
+	var in guest.Inst
+	var err error
+	switch {
+	case m.Exe.InCode(addr):
+		in, err = m.Exe.InstAt(addr)
+		if err == nil {
+			if target, ok := m.pltTarget[addr]; ok {
+				// Loader-patched PLT stub.
+				in = guest.NewInstI(guest.JMP, guest.RegNone, int64(target))
+			}
+		}
+	default:
+		err = fmt.Errorf("vm: fetch from unmapped address %#x", addr)
+		for _, lib := range m.Libs {
+			if lib.InCode(addr) {
+				off := addr - lib.Base
+				in, err = guest.Decode(lib.Code[off:])
+				break
+			}
+		}
+	}
+	if err != nil {
+		return guest.Inst{}, err
+	}
+	m.decoded[addr] = in
+	return in, nil
+}
+
+// InLibrary reports whether addr is inside any mapped shared library —
+// i.e. code the static analyser never saw.
+func (m *Machine) InLibrary(addr uint64) bool {
+	for _, lib := range m.Libs {
+		if lib.InCode(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// PLTTarget returns the resolved target of a PLT stub, if addr is one.
+func (m *Machine) PLTTarget(addr uint64) (uint64, bool) {
+	t, ok := m.pltTarget[addr]
+	return t, ok
+}
+
+// Alloc carves size bytes of zeroed heap, 64-byte aligned.
+func (m *Machine) Alloc(size uint64) uint64 {
+	addr := m.heapNext
+	m.heapNext += (size + 63) &^ 63
+	return addr
+}

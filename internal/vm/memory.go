@@ -1,0 +1,163 @@
+// Package vm implements the guest machine: sparse paged memory,
+// per-thread execution contexts, single-instruction semantics with a
+// virtual cycle cost model, and a native (unmodified) runner.
+//
+// The virtual cycle clock substitutes for wall-clock measurement on real
+// hardware: every instruction charges its cost-model latency to the
+// executing context, and the parallel runtime combines per-thread clocks
+// (max across threads plus orchestration overheads) to produce the
+// elapsed time of a parallel region. This keeps every experiment
+// deterministic and host-independent.
+package vm
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+const pageSize = 1 << 12
+const pageMask = pageSize - 1
+
+// Memory is a sparse, zero-filled, byte-addressable 64-bit space.
+// All addresses are readable and writable; the simulator does not model
+// protection faults (the paper's transformations never rely on them).
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	key := addr >> 12
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Load8 returns the byte at addr.
+func (m *Memory) Load8(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Store8 sets the byte at addr.
+func (m *Memory) Store8(addr uint64, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read64 loads a little-endian 64-bit word from addr.
+func (m *Memory) Read64(addr uint64) uint64 {
+	off := addr & pageMask
+	if off+8 <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off : off+8])
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.Load8(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores a little-endian 64-bit word at addr.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & pageMask
+	if off+8 <= pageSize {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:off+8], v)
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.Store8(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i, c := range b {
+		m.Store8(addr+uint64(i), c)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Load8(addr + uint64(i))
+	}
+	return out
+}
+
+// Hash returns a digest over all resident pages, used to compare final
+// memory images between native and parallelised executions. Zero pages
+// that were never touched do not contribute, and pages that contain only
+// zeroes hash identically to absent pages.
+func (m *Memory) Hash() uint64 {
+	keys := make([]uint64, 0, len(m.pages))
+	for k, p := range m.pages {
+		if !allZero(p) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h := fnv.New64a()
+	var kb [8]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(kb[:], k)
+		h.Write(kb[:])
+		h.Write(m.pages[k][:])
+	}
+	return h.Sum64()
+}
+
+// HashBelow digests only resident pages whose addresses are below
+// limit, so runtime-private regions (worker stacks, TLS) can be
+// excluded when comparing a parallelised run against a native one.
+func (m *Memory) HashBelow(limit uint64) uint64 {
+	keys := make([]uint64, 0, len(m.pages))
+	for k, p := range m.pages {
+		if k<<12 < limit && !allZero(p) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h := fnv.New64a()
+	var kb [8]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(kb[:], k)
+		h.Write(kb[:])
+		h.Write(m.pages[k][:])
+	}
+	return h.Sum64()
+}
+
+func allZero(p *[pageSize]byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bus is the memory interface instructions execute against. The plain
+// machine memory implements it; the STM wraps it with buffering during
+// speculative execution.
+type Bus interface {
+	Read64(addr uint64) uint64
+	Write64(addr uint64, v uint64)
+}
+
+var _ Bus = (*Memory)(nil)

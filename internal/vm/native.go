@@ -1,0 +1,67 @@
+package vm
+
+import (
+	"fmt"
+
+	"janus/internal/guest"
+	"janus/internal/obj"
+)
+
+// Result summarises an execution for correctness comparison and the
+// virtual-time performance model.
+type Result struct {
+	Exit    int64
+	Output  []uint64
+	Cycles  int64
+	Insts   int64
+	MemHash uint64
+	// DataHash digests memory below the runtime-private/stack regions,
+	// comparable across native and parallelised executions.
+	DataHash uint64
+}
+
+// DataHashLimit excludes stacks, TLS and library text from DataHash.
+const DataHashLimit = 0x7000_0000_0000
+
+// DefaultMaxSteps bounds run loops against runaway guest programs.
+const DefaultMaxSteps = 2_000_000_000
+
+// RunNative executes the program natively (no binary modification),
+// exactly as the paper's "native" baseline runs outside DynamoRIO.
+func RunNative(exe *obj.Executable, libs ...*obj.Library) (*Result, error) {
+	m, err := NewMachine(exe, libs...)
+	if err != nil {
+		return nil, err
+	}
+	c := m.NewContext(0, obj.DefaultStackTop)
+	if err := RunContext(m, c, DefaultMaxSteps); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Exit:     c.Exit,
+		Output:   m.Output,
+		Cycles:   c.Cycles,
+		Insts:    c.Insts,
+		MemHash:  m.Mem.Hash(),
+		DataHash: m.Mem.HashBelow(DataHashLimit),
+	}, nil
+}
+
+// RunContext drives a context until HALT/exit or the step bound.
+func RunContext(m *Machine, c *Context, maxSteps int64) error {
+	for steps := int64(0); steps < maxSteps; steps++ {
+		in, err := m.FetchInst(c.PC)
+		if err != nil {
+			return err
+		}
+		next, err := ExecInst(m, c, in, c.PC+guest.InstSize)
+		if err == ErrExited {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.PC = next
+	}
+	return fmt.Errorf("vm: exceeded %d steps without exiting", maxSteps)
+}

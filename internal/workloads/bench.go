@@ -1,0 +1,417 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"janus/internal/asm"
+	"janus/internal/guest"
+	"janus/internal/obj"
+)
+
+// Benchmark describes one synthetic SPEC-like workload: how to build it
+// and the paper-reported reference values EXPERIMENTS.md compares
+// against.
+type Benchmark struct {
+	Name string
+	// Parallelisable marks the nine figure-7 benchmarks.
+	Parallelisable bool
+	// NeedsLib marks workloads importing the shared math library.
+	NeedsLib bool
+	// PaperSpeedup8T is the paper's figure-7 Janus bar (approximate,
+	// read from the plot); 0 when the benchmark is not in figure 7.
+	PaperSpeedup8T float64
+	// PaperChecks is Table I's array-bounds checks per loop (0 = none
+	// reported).
+	PaperChecks float64
+	// build emits the program. Sizes derive from input and opt.
+	build func(k *kctx, in Input)
+}
+
+// scale maps the input set to a size multiplier.
+func scale(in Input) int64 {
+	if in == Train {
+		return 2
+	}
+	return 10
+}
+
+// registry lists all 25 benchmarks (SPEC CPU2006 minus omnetpp, tonto,
+// wrf, exactly as the paper evaluates). The kernel mixes follow the
+// per-benchmark characterisation in the paper's figure 6 and §III.
+var registry = []Benchmark{
+	// ---- The nine parallelisable benchmarks (figure 7). ----
+	{
+		Name: "410.bwaves", Parallelisable: true, NeedsLib: true,
+		PaperSpeedup8T: 2.8, PaperChecks: 1,
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			// Hot DOALL loop with a pow() PLT call: speculation required.
+			k.libCallLoop(520*s, "pow")
+			// A checked two-array kernel (1 check per loop).
+			k.doallRuntime(1600*s, 2)
+			k.doallFloatStream(1600 * s)
+			k.reduction(400 * s)
+			k.carriedStencil(700 * s)
+		},
+	},
+	{
+		Name: "433.milc", Parallelisable: true,
+		PaperSpeedup8T: 1.0, PaperChecks: 12,
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			// Many short checked loops (12 bases) + much sequential code:
+			// init/finish overhead dominates (paper: low speedup).
+			for i := 0; i < 4; i++ {
+				k.doallRuntime(420*s, 6)
+			}
+			k.smallLoops(60*s, 64)
+			k.reduction(256 * s)
+			k.carriedStencil(256 * s)
+			k.pointerChase(128*s, false)
+		},
+	},
+	{
+		Name: "436.cactusADM", Parallelisable: true,
+		PaperSpeedup8T: 1.6, PaperChecks: 3,
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.doallRuntime(2400*s, 3)
+			k.doallFloatStream(1200 * s)
+			k.smallLoops(24*s, 64)
+			k.irregular(1 << 12)
+		},
+	},
+	{
+		Name: "437.leslie3d", Parallelisable: true,
+		PaperSpeedup8T: 0.95,
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			// Low-iteration-count candidates: parallelisation barely pays.
+			k.smallLoops(120*s, 64)
+			k.doallConst(560 * s)
+			k.carriedStencil(320 * s)
+			k.irregular(1 << 13)
+			k.pointerChase(96*s, true)
+		},
+	},
+	{
+		Name: "459.GemsFDTD", Parallelisable: true,
+		PaperSpeedup8T: 1.7, PaperChecks: 19.5,
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			// Many-array field updates: large check counts, plus a cold
+			// translation footprint.
+			for i := 0; i < 3; i++ {
+				k.doallRuntime(1200*s, 6)
+			}
+			k.coldCode(48, 160*s)
+			k.doallFloatStream(640 * s)
+			k.carriedStencil(900 * s)
+		},
+	},
+	{
+		Name: "462.libquantum", Parallelisable: true,
+		PaperSpeedup8T: 6.0,
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			// Gate application over the state vector: one giant static
+			// DOALL loop is nearly the whole program (paper: 6.0x).
+			k.doallConst(32000 * s)
+			k.doallConst(32000 * s)
+			k.reduction(800 * s)
+		},
+	},
+	{
+		Name: "464.h264ref", Parallelisable: true,
+		PaperSpeedup8T: 0.76,
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			// Translation-heavy: large cold-code footprint, modest DOALL.
+			k.coldCode(96, 64*s)
+			k.doallConst(800 * s)
+			k.pointerChase(160*s, true)
+			k.irregular(1 << 13)
+			k.smallLoops(16*s, 48)
+		},
+	},
+	{
+		Name: "470.lbm", Parallelisable: true,
+		PaperSpeedup8T: 5.8,
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			// Stream-collide: 98% of execution in one DOALL nest.
+			k.doallFloatStream(20000 * s)
+			k.doallFloatStream(20000 * s)
+			k.doallConst(4000 * s)
+		},
+	},
+	{
+		Name: "482.sphinx3", Parallelisable: true,
+		PaperSpeedup8T: 1.3,
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			// Moderate DOALL fraction, large sequential remainder.
+			k.doallFloatStream(1600 * s)
+			k.reduction(1600 * s)
+			k.carriedStencil(1600 * s)
+			k.pointerChase(800*s, false)
+			k.smallLoops(48*s, 48)
+		},
+	},
+
+	// ---- The sixteen figure-6-only benchmarks. ----
+	{
+		Name: "400.perlbench",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.pointerChase(400*s, true)
+			k.irregular(1 << 12)
+			k.coldCode(64, 32*s)
+			k.doallConst(128 * s)
+			k.ioLoop(8)
+		},
+	},
+	{
+		Name: "401.bzip2",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.carriedStencil(1200 * s)
+			k.pointerChase(600*s, true)
+			k.doallConst(300 * s)
+			k.irregular(1 << 12)
+		},
+	},
+	{
+		Name: "403.gcc",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.coldCode(128, 24*s)
+			k.pointerChase(320*s, true)
+			k.irregular(1 << 11)
+			k.doallConst(96 * s)
+			k.ioLoop(4)
+		},
+	},
+	{
+		Name: "429.mcf",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.pointerChase(1000*s, true)
+			k.carriedStencil(400 * s)
+			k.doallConst(160 * s)
+		},
+	},
+	{
+		Name: "434.zeusmp",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.doallFloatStream(1000 * s)
+			k.carriedStencil(800 * s)
+			k.doallRuntime(320*s, 4)
+			k.irregular(1 << 12)
+		},
+	},
+	{
+		Name: "435.gromacs",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.reduction(800 * s)
+			k.pointerChase(500*s, false)
+			k.carriedStencil(500 * s)
+			k.smallLoops(32*s, 48)
+		},
+	},
+	{
+		Name: "444.namd",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.irregular(1 << 13)
+			k.pointerChase(700*s, false)
+			k.reduction(500 * s)
+			k.coldCode(40, 40*s)
+		},
+	},
+	{
+		Name: "445.gobmk",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.coldCode(96, 24*s)
+			k.pointerChase(320*s, true)
+			k.irregular(1 << 11)
+			k.doallConst(80 * s)
+		},
+	},
+	{
+		Name: "447.dealII",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.pointerChase(480*s, true)
+			k.doallRuntime(240*s, 3)
+			k.carriedStencil(320 * s)
+			k.irregular(1 << 12)
+		},
+	},
+	{
+		Name: "450.soplex",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.pointerChase(560*s, true)
+			k.carriedStencil(480 * s)
+			k.doallConst(160 * s)
+			k.smallLoops(24*s, 48)
+		},
+	},
+	{
+		Name: "453.povray",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.coldCode(72, 32*s)
+			k.reduction(400 * s)
+			k.pointerChase(320*s, true)
+			k.irregular(1 << 11)
+		},
+	},
+	{
+		Name: "454.calculix",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.doallRuntime(400*s, 4)
+			k.carriedStencil(480 * s)
+			k.smallLoops(32*s, 48)
+			k.irregular(1 << 12)
+		},
+	},
+	{
+		Name: "456.hmmer",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.carriedStencil(1600 * s) // dynamic-programming recurrence
+			k.doallConst(320 * s)
+			k.reduction(320 * s)
+		},
+	},
+	{
+		Name: "458.sjeng",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.coldCode(88, 28*s)
+			k.pointerChase(400*s, true)
+			k.irregular(1 << 11)
+		},
+	},
+	{
+		Name: "473.astar",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			k.pointerChase(800*s, true)
+			k.carriedStencil(320 * s)
+			k.doallConst(120 * s)
+		},
+	},
+	{
+		Name: "483.xalancbmk",
+		build: func(k *kctx, in Input) {
+			s := scale(in)
+			// 1% DOALL coverage (paper): almost everything irregular.
+			k.coldCode(112, 24*s)
+			k.pointerChase(480*s, true)
+			k.irregular(1 << 11)
+			k.doallConst(48 * s)
+		},
+	},
+}
+
+// Names returns all benchmark names in evaluation order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, b := range registry {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// ParallelisableNames returns the nine figure-7 benchmarks in order.
+func ParallelisableNames() []string {
+	var out []string
+	for _, b := range registry {
+		if b.Parallelisable {
+			out = append(out, b.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName looks up a benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Build assembles the named benchmark at the given input size and
+// optimisation level, returning the executable and any libraries it
+// links against. The executable is stripped, as the paper targets
+// stripped binaries.
+func Build(name string, in Input, opt OptLevel) (*obj.Executable, []*obj.Library, error) {
+	bm, ok := ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+	}
+	b := asm.NewBuilder(fmt.Sprintf("%s-%s-%s", name, in, opt))
+	k := &kctx{b: b, f: b.Func("main"), opt: opt}
+	bm.build(k, in)
+	k.exit()
+	// Real SPEC binaries statically link substantial runtime support
+	// (libc, libm, language runtimes) that never runs under the
+	// reference inputs; the rewrite-schedule size of figure 10 is
+	// normalised against that full text section. Emit an equivalent
+	// amount of cold support code (unreachable from main, so neither
+	// the analyser nor the DBM ever touches it).
+	emitColdRuntime(b, 36, 32)
+	exe, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("workloads: %s: %w", name, err)
+	}
+	exe = exe.Strip()
+	var libs []*obj.Library
+	if bm.NeedsLib {
+		libs = append(libs, MathLib())
+	}
+	return exe, libs, nil
+}
+
+// emitColdRuntime appends nFuncs unreferenced support functions of
+// instsPerFunc instructions each (the statically-linked runtime text of
+// a real binary).
+func emitColdRuntime(b *asm.Builder, nFuncs, instsPerFunc int) {
+	for i := 0; i < nFuncs; i++ {
+		f := b.Func(fmt.Sprintf("__rt_support_%d", i))
+		for j := 0; j < instsPerFunc-1; j++ {
+			switch j % 4 {
+			case 0:
+				f.OpI(guest.ADDI, guest.R0, int64(j))
+			case 1:
+				f.Op(guest.XOR, guest.R1, guest.R2)
+			case 2:
+				f.OpI(guest.SHLI, guest.R3, 1)
+			default:
+				f.Mov(guest.R4, guest.R5)
+			}
+		}
+		f.Ret()
+	}
+}
+
+// MustBuild is Build that panics on error (for examples and benches).
+func MustBuild(name string, in Input, opt OptLevel) (*obj.Executable, []*obj.Library) {
+	exe, libs, err := Build(name, in, opt)
+	if err != nil {
+		panic(err)
+	}
+	return exe, libs
+}

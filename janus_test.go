@@ -1,0 +1,82 @@
+package janus
+
+import (
+	"testing"
+
+	"janus/internal/workloads"
+)
+
+func TestParalleliseAllNineBenchmarks(t *testing.T) {
+	for _, name := range workloads.ParallelisableNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			exe, libs, err := workloads.Build(name, workloads.Train, workloads.O3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Parallelise(exe, Config{
+				Threads:    8,
+				UseProfile: true,
+				UseChecks:  true,
+				Verify:     true,
+			}, libs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Speedup() <= 0 {
+				t.Fatal("no speedup computed")
+			}
+			t.Logf("%s: %.2fx, %d loops selected, %d regions, %d checks run",
+				name, rep.Speedup(), rep.Selected, rep.Stats.ParRegions, rep.Stats.ChecksRun)
+		})
+	}
+}
+
+func TestConfigProgression(t *testing.T) {
+	// The four figure-7 configurations must all verify, and adding
+	// profile+checks must not lose performance on a check-needing
+	// benchmark.
+	exe, libs, err := workloads.Build("410.bwaves", workloads.Train, workloads.O3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := Parallelise(exe, Config{Threads: 8, Verify: true}, libs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Parallelise(exe, Config{Threads: 8, UseProfile: true, UseChecks: true, Verify: true}, libs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Speedup() < static.Speedup() {
+		t.Fatalf("checks should help bwaves: static=%.2f full=%.2f", static.Speedup(), full.Speedup())
+	}
+	if full.Stats.ChecksRun == 0 {
+		t.Fatal("bwaves full config must run bounds checks")
+	}
+	if full.Stats.TxStarted == 0 {
+		t.Fatal("bwaves hot loop must speculate on the pow call")
+	}
+}
+
+func TestBareDBMOverheadBounded(t *testing.T) {
+	exe, libs, err := workloads.Build("433.milc", workloads.Train, workloads.O3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := RunNativeBaseline(exe, libs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := RunBareDBM(exe, libs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(bare.Cycles) / float64(native.Cycles)
+	if ratio < 1.0 {
+		t.Fatalf("bare DBM cannot be faster than native: %.3f", ratio)
+	}
+	if ratio > 2.0 {
+		t.Fatalf("bare DBM overhead out of range: %.3f", ratio)
+	}
+}
