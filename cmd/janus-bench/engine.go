@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"janus/internal/enginebench"
+	"janus/internal/harness"
+)
+
+// engineBench is one micro-benchmark entry of the BENCH_engine.json
+// snapshot.
+type engineBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// engineSnapshot is the perf snapshot future PRs must beat: execution
+// fast-path micro-benchmarks plus the wall-clock of one harness figure.
+type engineSnapshot struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []engineBench `json:"benchmarks"`
+	// Figure7Seconds is the wall-clock of regenerating figure 7 (the
+	// end-to-end harness number the micro-benchmarks exist to serve).
+	Figure7Seconds float64 `json:"figure7_seconds"`
+}
+
+// engineBenchmarks runs the shared micro-benchmark specs from
+// internal/enginebench — the exact bodies behind the repository's
+// Benchmark* wrappers — so the snapshot can be regenerated from the
+// installed binary alone and stays comparable with `go test -bench`.
+func engineBenchmarks() ([]engineBench, error) {
+	specs := enginebench.Specs()
+	out := make([]engineBench, 0, len(specs))
+	for _, sp := range specs {
+		r := testing.Benchmark(sp.Fn)
+		out = append(out, engineBench{
+			Name:        sp.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out, nil
+}
+
+// writeEngineSnapshot runs the engine micro-benchmarks plus one harness
+// figure and writes the JSON snapshot to path.
+func writeEngineSnapshot(path string) error {
+	benches, err := engineBenchmarks()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if _, err := harness.Figure7(harness.DefaultThreads); err != nil {
+		return err
+	}
+	fig7 := time.Since(start).Seconds()
+
+	snap := engineSnapshot{
+		Schema:         "janus-bench-engine/v1",
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Benchmarks:     benches,
+		Figure7Seconds: fig7,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

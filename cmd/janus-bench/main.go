@@ -1,9 +1,11 @@
 // Command janus-bench regenerates the paper's evaluation tables and
 // figures over the synthetic workload suite:
 //
-//	janus-bench            all experiments
-//	janus-bench -fig 7     one figure (6..12)
-//	janus-bench -table 1   one table (1 or 2)
+//	janus-bench                          all experiments
+//	janus-bench -fig 7                   one figure (6..12)
+//	janus-bench -table 1                 one table (1 or 2)
+//	janus-bench -engine-json BENCH_engine.json
+//	                                     execution-engine perf snapshot
 package main
 
 import (
@@ -18,7 +20,13 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (6..12); 0 = all")
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 	threads := flag.Int("threads", harness.DefaultThreads, "thread count")
+	engineJSON := flag.String("engine-json", "", "run the execution-engine micro-benchmarks and write a JSON perf snapshot to this path")
 	flag.Parse()
+
+	if *engineJSON != "" {
+		exitOn(writeEngineSnapshot(*engineJSON))
+		return
+	}
 
 	runAll := *fig == 0 && *table == 0
 	run := func(n int) bool { return runAll || *fig == n }

@@ -1,0 +1,3 @@
+module janus
+
+go 1.24

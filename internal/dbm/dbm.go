@@ -119,6 +119,13 @@ type Stats struct {
 	SpecInsts  int64
 }
 
+// checkKey locates the MEM_BOUNDS_CHECK rules guarding one loop at one
+// LOOP_INIT site.
+type checkKey struct {
+	addr   uint64
+	loopID int32
+}
+
 // Executor runs one program under the DBM.
 type Executor struct {
 	M     *vm.Machine
@@ -130,6 +137,9 @@ type Executor struct {
 
 	// caches[t] is thread t's private code cache.
 	caches []map[uint64]*tblock
+	// lastBlk[t] is the block thread t executed last, the anchor for
+	// block linking in blockFor.
+	lastBlk []*tblock
 
 	// main is the program's main context.
 	main *vm.Context
@@ -142,6 +152,15 @@ type Executor struct {
 	exitTargets map[int32]map[uint64]bool
 	boundData   map[int32]rules.UpdateBoundData
 	privSlots   map[int32]map[int32]rules.MemPrivatiseData
+	// exitPrimary is the loop's deterministic resume address: the
+	// smallest LOOP_FINISH target.
+	exitPrimary map[int32]uint64
+	// finishData is the first LOOP_FINISH payload per loop, in schedule
+	// order.
+	finishData map[int32]rules.LoopFinishData
+	// checksAt indexes MEM_BOUNDS_CHECK payloads by (rule address,
+	// loop), replacing the per-invocation scan over the address index.
+	checksAt map[checkKey][]rules.BoundsCheckData
 
 	// Profiling state.
 	Cov *profiler.Coverage
@@ -149,11 +168,14 @@ type Executor struct {
 	Ex  *profiler.Excall
 
 	// seqLoop marks loops currently running sequentially (fallback), so
-	// LOOP_INIT does not re-fire on every header execution.
-	seqLoop map[int32]bool
+	// LOOP_INIT does not re-fire on every header execution. Indexed by
+	// loop ID (dense small ints from the analyzer).
+	seqLoop []bool
 
-	// Per-thread transaction state (index = thread ID).
+	// Per-thread transaction state (index = thread ID). txSpare keeps a
+	// finished transaction per thread for buffer reuse.
 	tx          []*stm.Tx
+	txSpare     []*stm.Tx
 	suppressTx  []bool
 	txStartAddr []uint64
 
@@ -182,14 +204,18 @@ func New(exe *obj.Executable, s *rules.Schedule, cfg Config, libs ...*obj.Librar
 		Ix:          rules.BuildIndex(s),
 		Cfg:         cfg,
 		caches:      make([]map[uint64]*tblock, cfg.Threads),
+		lastBlk:     make([]*tblock, cfg.Threads),
 		exitTargets: map[int32]map[uint64]bool{},
 		boundData:   map[int32]rules.UpdateBoundData{},
 		privSlots:   map[int32]map[int32]rules.MemPrivatiseData{},
-		seqLoop:     map[int32]bool{},
+		exitPrimary: map[int32]uint64{},
+		finishData:  map[int32]rules.LoopFinishData{},
+		checksAt:    map[checkKey][]rules.BoundsCheckData{},
 		Cov:         profiler.NewCoverage(),
 		Dep:         profiler.NewDependence(),
 		Ex:          profiler.NewExcall(),
 		tx:          make([]*stm.Tx, cfg.Threads),
+		txSpare:     make([]*stm.Tx, cfg.Threads),
 		suppressTx:  make([]bool, cfg.Threads),
 		txStartAddr: make([]uint64, cfg.Threads),
 	}
@@ -205,6 +231,12 @@ func New(exe *obj.Executable, s *rules.Schedule, cfg Config, libs ...*obj.Librar
 				ex.exitTargets[r.LoopID] = set
 			}
 			set[r.Addr] = true
+			if prev, ok := ex.exitPrimary[r.LoopID]; !ok || r.Addr < prev {
+				ex.exitPrimary[r.LoopID] = r.Addr
+			}
+			if _, ok := ex.finishData[r.LoopID]; !ok {
+				ex.finishData[r.LoopID] = r.Data.(rules.LoopFinishData)
+			}
 		case rules.LOOP_UPDATE_BOUND:
 			ex.boundData[r.LoopID] = r.Data.(rules.UpdateBoundData)
 		case rules.MEM_PRIVATISE:
@@ -215,6 +247,9 @@ func New(exe *obj.Executable, s *rules.Schedule, cfg Config, libs ...*obj.Librar
 			}
 			d := r.Data.(rules.MemPrivatiseData)
 			m[d.Slot] = d
+		case rules.MEM_BOUNDS_CHECK:
+			k := checkKey{addr: r.Addr, loopID: r.LoopID}
+			ex.checksAt[k] = append(ex.checksAt[k], r.Data.(rules.BoundsCheckData))
 		}
 	}
 	ex.main = m.NewContext(0, obj.DefaultStackTop)
@@ -260,4 +295,23 @@ func (ex *Executor) Run() (*Result, error) {
 // would otherwise differ).
 func (ex *Executor) DataHash() uint64 {
 	return ex.M.Mem.HashBelow(vm.DataHashLimit)
+}
+
+// seqLatched reports whether a loop is latched into sequential
+// fallback for the current invocation.
+func (ex *Executor) seqLatched(loopID int32) bool {
+	return int(loopID) < len(ex.seqLoop) && ex.seqLoop[loopID]
+}
+
+// setSeqLatch sets or clears the sequential-fallback latch.
+func (ex *Executor) setSeqLatch(loopID int32, v bool) {
+	if int(loopID) >= len(ex.seqLoop) {
+		if !v {
+			return
+		}
+		grown := make([]bool, loopID+1, 2*(loopID+1))
+		copy(grown, ex.seqLoop)
+		ex.seqLoop = grown
+	}
+	ex.seqLoop[loopID] = v
 }

@@ -23,6 +23,7 @@ func (ex *Executor) stepBlock(t *jrt.Thread) error {
 	if err != nil {
 		return err
 	}
+	ex.lastBlk[t.ID] = b
 	t.Ctx.Cycles += ex.Cfg.Cost.Dispatch
 	for i := range b.items {
 		it := &b.items[i]
@@ -61,13 +62,12 @@ func (ex *Executor) stepBlock(t *jrt.Thread) error {
 func (ex *Executor) execItem(t *jrt.Thread, it *titem) (uint64, error) {
 	c := t.Ctx
 	next := it.addr + guest.InstSize
-	inTx := ex.tx[t.ID] != nil
-	if inTx && (it.inst.ReadsMem() || it.inst.WritesMem()) {
+	if it.touchesMem && ex.tx[t.ID] != nil {
 		c.Cycles += ex.Cfg.Cost.TxPerAccess
 		ex.Stats.SpecInsts++
-	}
-	if inTx && ex.Cfg.Profile && ex.Ex.Active() && (it.inst.ReadsMem() || it.inst.WritesMem()) {
-		ex.Ex.RecordMem(it.inst.WritesMem())
+		if ex.Cfg.Profile && ex.Ex.Active() {
+			ex.Ex.RecordMem(it.writesMem)
+		}
 	}
 	switch it.kind {
 	case execPrivatise:
@@ -83,7 +83,7 @@ func (ex *Executor) execItem(t *jrt.Thread, it *titem) (uint64, error) {
 			return ex.execPatchedBound(t, it, next)
 		}
 	}
-	return vm.ExecInst(ex.M, c, it.inst, next)
+	return vm.ExecInst(ex.M, c, &it.inst, next)
 }
 
 // execPrivatised redirects the access to the thread's TLS slot
@@ -93,7 +93,7 @@ func (ex *Executor) execPrivatised(t *jrt.Thread, it *titem, next uint64) (uint6
 	priv := jrt.PrivAddr(t.ID, it.priv.Slot)
 	in := it.inst
 	in.M = guest.Mem{Base: guest.RegNone, Index: guest.RegNone, Scale: 1, Disp: int64(priv)}
-	return vm.ExecInst(ex.M, t.Ctx, in, next)
+	return vm.ExecInst(ex.M, t.Ctx, &in, next)
 }
 
 // execMainStackRead redirects a read-only stack access to the main
@@ -113,7 +113,7 @@ func (ex *Executor) execMainStackRead(t *jrt.Thread, it *titem, next uint64) (ui
 	addr := lc.MainSP + (eff - entrySP)
 	in := it.inst
 	in.M = guest.Mem{Base: guest.RegNone, Index: guest.RegNone, Scale: 1, Disp: int64(addr)}
-	return vm.ExecInst(ex.M, t.Ctx, in, next)
+	return vm.ExecInst(ex.M, t.Ctx, &in, next)
 }
 
 // execPatchedBound executes the exit compare against the thread's
@@ -154,12 +154,12 @@ func (ex *Executor) runHandler(t *jrt.Thread, it *titem, r rules.Rule) (*redirec
 		// handlers; the rules themselves cost nothing extra.
 
 	case rules.LOOP_INIT:
-		if !ex.inParallel && t.ID == 0 && !ex.seqLoop[r.LoopID] {
+		if !ex.inParallel && t.ID == 0 && !ex.seqLatched(r.LoopID) {
 			rd, err := ex.runParallelLoop(t, r)
 			if err == nil && rd == nil {
 				// Sequential fallback: latch so the handler does not
 				// re-fire on every header execution of this invocation.
-				ex.seqLoop[r.LoopID] = true
+				ex.setSeqLatch(r.LoopID, true)
 			}
 			return rd, err
 		}
@@ -167,7 +167,7 @@ func (ex *Executor) runHandler(t *jrt.Thread, it *titem, r rules.Rule) (*redirec
 		// Reached sequentially (fallback path): release the latch so
 		// the next invocation re-attempts parallelisation.
 		if !ex.inParallel {
-			delete(ex.seqLoop, r.LoopID)
+			ex.setSeqLatch(r.LoopID, false)
 		}
 
 	case rules.MEM_BOUNDS_CHECK:
@@ -177,7 +177,13 @@ func (ex *Executor) runHandler(t *jrt.Thread, it *titem, r rules.Rule) (*redirec
 	case rules.TX_START:
 		if ex.inParallel && ex.tx[t.ID] == nil && !ex.suppressTx[t.ID] {
 			cp := stm.Checkpoint{GPR: t.Ctx.GPR, ZF: t.Ctx.ZF, LF: t.Ctx.LF, PC: it.addr}
-			ex.tx[t.ID] = stm.Begin(ex.M.Mem, cp)
+			if spare := ex.txSpare[t.ID]; spare != nil {
+				spare.Reset(ex.M.Mem, cp)
+				ex.tx[t.ID] = spare
+				ex.txSpare[t.ID] = nil
+			} else {
+				ex.tx[t.ID] = stm.Begin(ex.M.Mem, cp)
+			}
 			ex.txStartAddr[t.ID] = it.addr
 			t.Ctx.Bus = ex.tx[t.ID]
 			t.Ctx.Cycles += ex.Cfg.Cost.TxStart
@@ -208,6 +214,7 @@ func (ex *Executor) finishTx(t *jrt.Thread, tx *stm.Tx) (*redirect, error) {
 		c.Cycles += int64(tx.WriteSetSize()) * ex.Cfg.Cost.TxCommitPerWord
 		tx.Commit()
 		ex.tx[t.ID] = nil
+		ex.txSpare[t.ID] = tx
 		c.Bus = ex.M.Mem
 		ex.Stats.TxCommits++
 		return nil, nil
@@ -219,6 +226,7 @@ func (ex *Executor) finishTx(t *jrt.Thread, tx *stm.Tx) (*redirect, error) {
 	c.GPR = cp.GPR
 	c.ZF, c.LF = cp.ZF, cp.LF
 	ex.tx[t.ID] = nil
+	ex.txSpare[t.ID] = tx
 	c.Bus = ex.M.Mem
 	ex.suppressTx[t.ID] = true
 	t.Oldest = false // cleared; scheduler recomputes

@@ -32,12 +32,9 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 	}
 
 	// Runtime array-base check (§II-E1): all ranges written must be
-	// disjoint from every other range.
-	for _, chk := range ex.Ix.At(r.Addr) {
-		if chk.ID != rules.MEM_BOUNDS_CHECK || chk.LoopID != r.LoopID {
-			continue
-		}
-		d := chk.Data.(rules.BoundsCheckData)
+	// disjoint from every other range. The applicable rules were indexed
+	// at construction time.
+	for _, d := range ex.checksAt[checkKey{addr: r.Addr, loopID: r.LoopID}] {
 		ex.Stats.ChecksRun++
 		main.Cycles += int64(len(d.Ranges)) * ex.Cfg.Cost.CheckPerRange
 		ex.Stats.CheckCycles += int64(len(d.Ranges)) * ex.Cfg.Cost.CheckPerRange
@@ -64,6 +61,7 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 		Trip:        n,
 		MainSP:      main.Reg(guest.SP),
 		ExitTargets: ex.exitTargets[r.LoopID],
+		ExitPrimary: ex.exitPrimary[r.LoopID],
 		BoundValue:  make([]uint64, ex.Cfg.Threads),
 		PrivSlots:   map[int32]jrt.PrivSlot{},
 	}
@@ -143,7 +141,7 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 			}
 			progressed = true
 			guard--
-			if lc.ExitTargets[th.Ctx.PC] {
+			if pc := th.Ctx.PC; pc == lc.ExitPrimary || (len(lc.ExitTargets) > 1 && lc.ExitTargets[pc]) {
 				th.State = jrt.StateDone
 				if ex.tx[th.ID] != nil {
 					// A transaction left open across the chunk end:
@@ -189,11 +187,7 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 		init := iv.Init.Eval(entry, 0)
 		main.SetReg(iv.Reg, uint64(init+iv.Step*n))
 	}
-	var finish rules.LoopFinishData
-	for _, fr := range ex.finishRules(r.LoopID) {
-		finish = fr
-		break
-	}
+	finish := ex.finishData[r.LoopID]
 	for _, red := range finish.Reductions {
 		acc := main.Reg(red.Reg) // initial value flows through main
 		for _, th := range threads {
@@ -207,22 +201,17 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 		}
 		main.ZF, main.LF = last.Ctx.ZF, last.Ctx.LF
 		// Copy privatised cells back to shared memory from the thread
-		// that executed the final iteration.
+		// that executed the final iteration, one page-span copy at a
+		// time.
 		for slot, ps := range lc.PrivSlots {
-			priv := jrt.PrivAddr(last.ID, slot)
-			for off := int64(0); off < ps.Size; off += 8 {
-				ex.M.Mem.Write64(ps.SharedAddr+uint64(off), ex.M.Mem.Read64(priv+uint64(off)))
-			}
+			ex.M.Mem.Copy(ps.SharedAddr, jrt.PrivAddr(last.ID, slot), int(ps.Size))
 		}
 	}
 
-	// Resume sequential execution at the loop's exit target.
-	var exitPC uint64
-	for a := range lc.ExitTargets {
-		exitPC = a
-		break
-	}
-	return &redirect{pc: exitPC}, nil
+	// Resume sequential execution at the loop's primary exit target
+	// (the smallest LOOP_FINISH address, fixed at construction time so
+	// the resume point never depends on map iteration order).
+	return &redirect{pc: ex.exitPrimary[r.LoopID]}, nil
 }
 
 // boundsCheckPasses evaluates the runtime array-base check: every
@@ -248,17 +237,6 @@ func boundsCheckPasses(d rules.BoundsCheckData, entry func(guest.Reg) uint64, tr
 		}
 	}
 	return true
-}
-
-// finishRules returns the LOOP_FINISH payloads for a loop.
-func (ex *Executor) finishRules(loopID int32) []rules.LoopFinishData {
-	var out []rules.LoopFinishData
-	for _, r := range ex.Sched.Rules {
-		if r.ID == rules.LOOP_FINISH && r.LoopID == loopID {
-			out = append(out, r.Data.(rules.LoopFinishData))
-		}
-	}
-	return out
 }
 
 func oldestRunning(threads []*jrt.Thread) int {

@@ -35,6 +35,10 @@ type titem struct {
 	bound rules.UpdateBoundData
 	// loopID of the transforming rule (for kind != execNormal).
 	loopID int32
+	// touchesMem and writesMem cache inst.ReadsMem()/WritesMem() so the
+	// per-instruction dispatch loop never re-derives them.
+	touchesMem bool
+	writesMem  bool
 }
 
 // tblock is one translated basic block in a thread's code cache.
@@ -43,6 +47,12 @@ type tblock struct {
 	items []titem
 	// end is the fall-through address after the block.
 	end uint64
+	// linkPC/linkBlk form a two-entry inline cache mapping this block's
+	// observed successor addresses to their translated blocks (the
+	// DBM's block linking): a taken/not-taken pair covers a conditional
+	// branch, so steady-state dispatch skips the code-cache hash lookup.
+	linkPC  [2]uint64
+	linkBlk [2]*tblock
 }
 
 // maxBlockLen caps translated block length.
@@ -52,20 +62,39 @@ const maxBlockLen = 128
 // caching it on a miss (the just-in-time recompilation step of figure
 // 1(b)).
 func (ex *Executor) blockFor(t *jrt.Thread, addr uint64) (*tblock, error) {
+	// Block linking: the previous block's inline cache resolves its
+	// common successors without touching the code-cache map.
+	prev := ex.lastBlk[t.ID]
+	if prev != nil {
+		if prev.linkPC[0] == addr && prev.linkBlk[0] != nil {
+			return prev.linkBlk[0], nil
+		}
+		if prev.linkPC[1] == addr && prev.linkBlk[1] != nil {
+			return prev.linkBlk[1], nil
+		}
+	}
 	cache := ex.caches[t.ID]
-	if b, ok := cache[addr]; ok {
-		return b, nil
+	b, ok := cache[addr]
+	if !ok {
+		var err error
+		b, err = ex.translate(addr)
+		if err != nil {
+			return nil, err
+		}
+		cache[addr] = b
+		ex.Stats.TransBlocks++
+		ex.Stats.TransInsts += int64(len(b.items))
+		cost := int64(len(b.items)) * ex.Cfg.Cost.TransPerInst
+		ex.Stats.TransCycles += cost
+		t.Ctx.Cycles += cost
 	}
-	b, err := ex.translate(addr)
-	if err != nil {
-		return nil, err
+	if prev != nil {
+		if prev.linkBlk[0] == nil {
+			prev.linkPC[0], prev.linkBlk[0] = addr, b
+		} else {
+			prev.linkPC[1], prev.linkBlk[1] = addr, b
+		}
 	}
-	cache[addr] = b
-	ex.Stats.TransBlocks++
-	ex.Stats.TransInsts += int64(len(b.items))
-	cost := int64(len(b.items)) * ex.Cfg.Cost.TransPerInst
-	ex.Stats.TransCycles += cost
-	t.Ctx.Cycles += cost
 	return b, nil
 }
 
@@ -85,7 +114,8 @@ func (ex *Executor) translate(addr uint64) (*tblock, error) {
 			}
 			return nil, err
 		}
-		it := titem{addr: a, inst: in}
+		it := titem{addr: a, inst: in, writesMem: in.WritesMem()}
+		it.touchesMem = it.writesMem || in.ReadsMem()
 		for _, r := range ex.Ix.At(a) {
 			ex.applyRule(&it, r)
 		}
@@ -150,10 +180,13 @@ func (ex *Executor) applyRule(it *titem, r rules.Rule) {
 }
 
 // flushCaches models the paper's code-cache flush when a failed runtime
-// check forces the original sequential code to be reloaded.
+// check forces the original sequential code to be reloaded. Dispatch
+// state referencing flushed blocks (the per-thread last block driving
+// block linking) is dropped with them.
 func (ex *Executor) flushCaches() {
 	for i := range ex.caches {
 		ex.caches[i] = map[uint64]*tblock{}
+		ex.lastBlk[i] = nil
 	}
 	ex.Stats.CacheFlushes++
 }

@@ -252,13 +252,35 @@ func (op Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
 
+// opValid caches which table entries are defined, so validity checks on
+// the per-instruction dispatch path are a single array load.
+var opValid = func() (v [opMax]bool) {
+	for i := range opTable {
+		v[i] = opTable[i].name != ""
+	}
+	return
+}()
+
 // Valid reports whether op is a defined opcode.
-func (op Op) Valid() bool { return op < opMax && opTable[op].name != "" }
+func (op Op) Valid() bool { return op < opMax && opValid[op] }
+
+// opCycles flattens the cost-model latencies (with the undefined-opcode
+// fallback baked in) into one array, so the per-instruction charge is a
+// single load.
+var opCycles = func() (c [opMax]int64) {
+	for i := range opTable {
+		c[i] = opTable[i].cycles
+		if opTable[i].name == "" {
+			c[i] = 1
+		}
+	}
+	return
+}()
 
 // Cycles returns the base cost-model latency of the opcode.
 func (op Op) Cycles() int64 {
-	if op.Valid() {
-		return opTable[op].cycles
+	if op < opMax {
+		return opCycles[op]
 	}
 	return 1
 }

@@ -194,6 +194,9 @@ type LoopCtx struct {
 	EntryRegs [guest.NumGPR + 1]uint64
 	// ExitTargets are the addresses that terminate a thread's chunk.
 	ExitTargets map[uint64]bool
+	// ExitPrimary is the lowest exit target: the single-exit fast path
+	// for chunk-completion checks, and the deterministic resume point.
+	ExitPrimary uint64
 	// BoundValue[t] is the patched compare bound for thread t.
 	BoundValue []uint64
 	// PrivSlots maps slot -> shared cell address + size for copy-back.

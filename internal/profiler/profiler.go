@@ -4,40 +4,56 @@
 // recording methods from its PROF_* rule handlers; only instrumented
 // loops and instrumented instructions ever reach this package, which is
 // what makes the paper's profiling cheap.
+//
+// Loop IDs are small dense integers assigned by the analyzer, so all
+// per-loop state lives in index-grown slices rather than maps: the
+// per-instruction recording paths (Step, Record, StepInst) do no map
+// operations.
 package profiler
+
+import "janus/internal/wordmap"
+
+// grown returns s extended (zero-filled) so that index id is valid.
+func grown[T any](s []T, id int) []T {
+	if id < len(s) {
+		return s
+	}
+	n := make([]T, id+1, max(2*(id+1), 16))
+	copy(n, s)
+	return n
+}
 
 // Coverage accumulates dynamic instruction counts per loop.
 type Coverage struct {
 	total int64
 	// perLoop[loopID] counts instructions executed while the loop was
 	// active (nested loops attribute to every active level).
-	perLoop map[int]int64
+	perLoop []int64
 	// perLoopExcl attributes each instruction only to the innermost
 	// active loop, so per-category fractions sum to at most one.
-	perLoopExcl map[int]int64
+	perLoopExcl []int64
 	// invocations[loopID] counts loop entries; iterations counts header
 	// executions.
-	invocations map[int]int64
-	iterations  map[int]int64
+	invocations []int64
+	iterations  []int64
 	// active is the current loop nest (innermost last).
 	active []int
-	inNest map[int]bool
+	inNest []bool
 }
 
 // NewCoverage returns an empty coverage profile.
 func NewCoverage() *Coverage {
-	return &Coverage{
-		perLoop:     map[int]int64{},
-		perLoopExcl: map[int]int64{},
-		invocations: map[int]int64{},
-		iterations:  map[int]int64{},
-		inNest:      map[int]bool{},
-	}
+	return &Coverage{}
 }
 
 // EnterIter handles a PROF_LOOP_ITER at a loop header: either a new
 // invocation (loop not active) or another iteration.
 func (c *Coverage) EnterIter(loopID int) {
+	c.inNest = grown(c.inNest, loopID)
+	c.invocations = grown(c.invocations, loopID)
+	c.iterations = grown(c.iterations, loopID)
+	c.perLoop = grown(c.perLoop, loopID)
+	c.perLoopExcl = grown(c.perLoopExcl, loopID)
 	if !c.inNest[loopID] {
 		c.active = append(c.active, loopID)
 		c.inNest[loopID] = true
@@ -52,7 +68,7 @@ func (c *Coverage) Finish(loopID int) {
 	for len(c.active) > 0 {
 		top := c.active[len(c.active)-1]
 		c.active = c.active[:len(c.active)-1]
-		delete(c.inNest, top)
+		c.inNest[top] = false
 		if top == loopID {
 			return
 		}
@@ -60,10 +76,14 @@ func (c *Coverage) Finish(loopID int) {
 }
 
 // IsActive reports whether the loop is currently on the active nest.
-func (c *Coverage) IsActive(loopID int) bool { return c.inNest[loopID] }
+func (c *Coverage) IsActive(loopID int) bool {
+	return loopID < len(c.inNest) && c.inNest[loopID]
+}
 
 // Step attributes n executed instructions to every active loop
-// (inclusive) and to the innermost active loop (exclusive).
+// (inclusive) and to the innermost active loop (exclusive). EnterIter
+// grew the slices for every active loop, so no bounds growth happens
+// here.
 func (c *Coverage) Step(n int64) {
 	c.total += n
 	for _, id := range c.active {
@@ -77,12 +97,14 @@ func (c *Coverage) Step(n int64) {
 // ExclusiveFractions returns innermost-attributed per-loop coverage;
 // summing over disjoint loop sets never exceeds one.
 func (c *Coverage) ExclusiveFractions() map[int]float64 {
-	out := make(map[int]float64, len(c.perLoopExcl))
+	out := make(map[int]float64)
 	if c.total == 0 {
 		return out
 	}
 	for id, n := range c.perLoopExcl {
-		out[id] = float64(n) / float64(c.total)
+		if n > 0 {
+			out[id] = float64(n) / float64(c.total)
+		}
 	}
 	return out
 }
@@ -90,7 +112,7 @@ func (c *Coverage) ExclusiveFractions() map[int]float64 {
 // AvgIters returns mean iterations per invocation for every profiled
 // loop.
 func (c *Coverage) AvgIters() map[int]float64 {
-	out := make(map[int]float64, len(c.invocations))
+	out := make(map[int]float64)
 	for id, inv := range c.invocations {
 		if inv > 0 {
 			out[id] = float64(c.iterations[id]) / float64(inv)
@@ -102,68 +124,83 @@ func (c *Coverage) AvgIters() map[int]float64 {
 // Fractions returns per-loop coverage as a fraction of all executed
 // instructions.
 func (c *Coverage) Fractions() map[int]float64 {
-	out := make(map[int]float64, len(c.perLoop))
+	out := make(map[int]float64)
 	if c.total == 0 {
 		return out
 	}
 	for id, n := range c.perLoop {
-		out[id] = float64(n) / float64(c.total)
+		if n > 0 {
+			out[id] = float64(n) / float64(c.total)
+		}
 	}
 	return out
 }
 
 // Invocations returns the number of times the loop was entered.
-func (c *Coverage) Invocations(loopID int) int64 { return c.invocations[loopID] }
+func (c *Coverage) Invocations(loopID int) int64 {
+	if loopID >= len(c.invocations) {
+		return 0
+	}
+	return c.invocations[loopID]
+}
 
 // Iterations returns the total header executions of the loop.
-func (c *Coverage) Iterations(loopID int) int64 { return c.iterations[loopID] }
+func (c *Coverage) Iterations(loopID int) int64 {
+	if loopID >= len(c.iterations) {
+		return 0
+	}
+	return c.iterations[loopID]
+}
 
 // AvgIterations returns mean iterations per invocation.
 func (c *Coverage) AvgIterations(loopID int) float64 {
-	inv := c.invocations[loopID]
+	inv := c.Invocations(loopID)
 	if inv == 0 {
 		return 0
 	}
-	return float64(c.iterations[loopID]) / float64(inv)
+	return float64(c.Iterations(loopID)) / float64(inv)
 }
 
 // Total returns the total profiled instruction count.
 func (c *Coverage) Total() int64 { return c.total }
 
-// Dependence detects cross-iteration memory dependences for the
-// instrumented accesses of each profiled loop.
-type Dependence struct {
-	// last[loopID][addr] records the last iteration that touched addr
-	// and whether it was a write.
-	last map[int]map[uint64]depRecord
-	// iter[loopID] is the current iteration ordinal of the invocation.
-	iter map[int]int64
-	// observed[loopID] is set once a cross-iteration dependence occurs.
-	observed map[int]bool
-	// conflicts counts dependence events per loop.
-	conflicts map[int]int64
-}
-
+// depRecord is the last access to one word within an invocation.
 type depRecord struct {
 	iter  int64
 	write bool
 }
 
+// Dependence detects cross-iteration memory dependences for the
+// instrumented accesses of each profiled loop.
+type Dependence struct {
+	// last[loopID] records, per word address, the last iteration that
+	// touched it and whether it was a write.
+	last []*wordmap.Table[depRecord]
+	// iter[loopID] is the current iteration ordinal of the invocation.
+	iter []int64
+	// observed[loopID] is set once a cross-iteration dependence occurs.
+	observed []bool
+	// conflicts counts dependence events per loop.
+	conflicts []int64
+}
+
 // NewDependence returns an empty dependence profile.
 func NewDependence() *Dependence {
-	return &Dependence{
-		last:      map[int]map[uint64]depRecord{},
-		iter:      map[int]int64{},
-		observed:  map[int]bool{},
-		conflicts: map[int]int64{},
-	}
+	return &Dependence{}
 }
 
 // EnterIter advances the loop to its next iteration (and resets
 // tracking state on a fresh invocation, identified by first=true).
 func (d *Dependence) EnterIter(loopID int, first bool) {
+	d.last = grown(d.last, loopID)
+	d.iter = grown(d.iter, loopID)
+	d.observed = grown(d.observed, loopID)
+	d.conflicts = grown(d.conflicts, loopID)
 	if first {
-		d.last[loopID] = map[uint64]depRecord{}
+		if d.last[loopID] == nil {
+			d.last[loopID] = &wordmap.Table[depRecord]{}
+		}
+		d.last[loopID].Reset()
 		d.iter[loopID] = 0
 		return
 	}
@@ -175,21 +212,25 @@ func (d *Dependence) EnterIter(loopID int, first bool) {
 // least one access is a write (word-granularity, like the paper's
 // word-based tracking).
 func (d *Dependence) Record(loopID int, addr uint64, width int64, write bool) {
-	m := d.last[loopID]
-	if m == nil {
-		m = map[uint64]depRecord{}
-		d.last[loopID] = m
+	d.last = grown(d.last, loopID)
+	d.iter = grown(d.iter, loopID)
+	d.observed = grown(d.observed, loopID)
+	d.conflicts = grown(d.conflicts, loopID)
+	t := d.last[loopID]
+	if t == nil {
+		t = &wordmap.Table[depRecord]{}
+		d.last[loopID] = t
 	}
 	cur := d.iter[loopID]
 	for off := int64(0); off < width; off += 8 {
-		w := addr + uint64(off)
-		w &^= 7 // word granularity
-		if rec, ok := m[w]; ok && rec.iter != cur && (rec.write || write) {
+		w := (addr + uint64(off)) &^ 7 // word granularity
+		rec, ok := t.Get(w)
+		if ok && rec.iter != cur && (rec.write || write) {
 			d.observed[loopID] = true
 			d.conflicts[loopID]++
 		}
-		if rec, ok := m[w]; !ok || rec.iter != cur || write || rec.write {
-			m[w] = depRecord{iter: cur, write: write || (ok && rec.write && rec.iter == cur)}
+		if !ok || rec.iter != cur || write || rec.write {
+			t.Put(w, depRecord{iter: cur, write: write || (ok && rec.write && rec.iter == cur)})
 		}
 	}
 }
@@ -197,15 +238,22 @@ func (d *Dependence) Record(loopID int, addr uint64, width int64, write bool) {
 // Observed returns the loops with at least one profiled cross-iteration
 // dependence.
 func (d *Dependence) Observed() map[int]bool {
-	out := make(map[int]bool, len(d.observed))
-	for id := range d.observed {
-		out[id] = true
+	out := make(map[int]bool)
+	for id, o := range d.observed {
+		if o {
+			out[id] = true
+		}
 	}
 	return out
 }
 
 // Conflicts returns the dependence event count for a loop.
-func (d *Dependence) Conflicts(loopID int) int64 { return d.conflicts[loopID] }
+func (d *Dependence) Conflicts(loopID int) int64 {
+	if loopID >= len(d.conflicts) {
+		return 0
+	}
+	return d.conflicts[loopID]
+}
 
 // ExcallStats aggregates PROF_EXCALL profiling: instruction and memory
 // access counts inside external calls (paper §III-B reports these for
@@ -220,8 +268,10 @@ type ExcallStats struct {
 // Excall accumulates per-call-site external call statistics.
 type Excall struct {
 	stats map[uint64]*ExcallStats
-	// activeSite is the call site currently being profiled (0 if none).
+	// activeSite is the call site currently being profiled (0 if none);
+	// active caches its stats so the per-instruction path skips the map.
 	activeSite uint64
+	active     *ExcallStats
 }
 
 // NewExcall returns an empty external-call profile.
@@ -236,31 +286,31 @@ func (e *Excall) Start(site uint64) {
 		e.stats[site] = s
 	}
 	s.Calls++
+	e.active = s
 }
 
 // Finish ends profiling of the active call.
-func (e *Excall) Finish() { e.activeSite = 0 }
+func (e *Excall) Finish() { e.activeSite = 0; e.active = nil }
 
 // Active reports whether an external call is being profiled.
 func (e *Excall) Active() bool { return e.activeSite != 0 }
 
 // StepInst attributes an executed instruction to the active call.
 func (e *Excall) StepInst() {
-	if s := e.stats[e.activeSite]; s != nil {
-		s.Insts++
+	if e.active != nil {
+		e.active.Insts++
 	}
 }
 
 // RecordMem attributes a memory access to the active call.
 func (e *Excall) RecordMem(write bool) {
-	s := e.stats[e.activeSite]
-	if s == nil {
+	if e.active == nil {
 		return
 	}
 	if write {
-		s.Writes++
+		e.active.Writes++
 	} else {
-		s.Reads++
+		e.active.Reads++
 	}
 }
 

@@ -16,6 +16,7 @@ package stm
 import (
 	"janus/internal/guest"
 	"janus/internal/vm"
+	"janus/internal/wordmap"
 )
 
 // Checkpoint is the register state captured at TX_START for rollback.
@@ -32,9 +33,9 @@ type Tx struct {
 	// commits into.
 	shared vm.Bus
 	// reads records the first value seen for each word read.
-	reads map[uint64]uint64
+	reads wordmap.Table[uint64]
 	// writes buffers stores (latest value per word).
-	writes map[uint64]uint64
+	writes wordmap.Table[uint64]
 	// order preserves write ordering for deterministic commits.
 	order []uint64
 	// cp is the rollback checkpoint.
@@ -49,12 +50,23 @@ type Tx struct {
 // Begin starts a transaction over shared memory with the given
 // checkpoint.
 func Begin(shared vm.Bus, cp Checkpoint) *Tx {
-	return &Tx{
-		shared: shared,
-		reads:  map[uint64]uint64{},
-		writes: map[uint64]uint64{},
-		cp:     cp,
-	}
+	t := &Tx{shared: shared, cp: cp}
+	t.reads.Reset()
+	t.writes.Reset()
+	return t
+}
+
+// Reset re-arms a finished transaction for reuse, keeping the read/
+// write set backing arrays so steady-state speculation stops
+// allocating.
+func (t *Tx) Reset(shared vm.Bus, cp Checkpoint) {
+	t.shared = shared
+	t.cp = cp
+	t.reads.Reset()
+	t.writes.Reset()
+	t.order = t.order[:0]
+	t.NumReads = 0
+	t.NumWrites = 0
 }
 
 // Checkpoint returns the rollback state.
@@ -64,48 +76,49 @@ func (t *Tx) Checkpoint() Checkpoint { return t.cp }
 // shared memory, recording the observed value for validation.
 func (t *Tx) Read64(addr uint64) uint64 {
 	t.NumReads++
-	if v, ok := t.writes[addr]; ok {
+	if v, ok := t.writes.Get(addr); ok {
 		return v
 	}
 	v := t.shared.Read64(addr)
-	if _, ok := t.reads[addr]; !ok {
-		t.reads[addr] = v
-	}
+	t.reads.PutIfAbsent(addr, v)
 	return v
 }
 
 // Write64 implements vm.Bus: stores are buffered.
 func (t *Tx) Write64(addr uint64, v uint64) {
 	t.NumWrites++
-	if _, ok := t.writes[addr]; !ok {
+	if t.writes.Put(addr, v) {
 		t.order = append(t.order, addr)
 	}
-	t.writes[addr] = v
 }
 
 // Validate performs lazy value-based conflict checking: every recorded
 // read must still hold the value observed during the transaction.
 func (t *Tx) Validate() bool {
-	for addr, v := range t.reads {
+	ok := true
+	t.reads.Range(func(addr, v uint64) bool {
 		if t.shared.Read64(addr) != v {
+			ok = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return ok
 }
 
 // Commit writes the buffered stores to shared memory in program order.
 // The caller must have validated and must be the oldest thread.
 func (t *Tx) Commit() {
 	for _, addr := range t.order {
-		t.shared.Write64(addr, t.writes[addr])
+		v, _ := t.writes.Get(addr)
+		t.shared.Write64(addr, v)
 	}
 }
 
 // WriteSetSize returns the number of distinct buffered words.
-func (t *Tx) WriteSetSize() int { return len(t.writes) }
+func (t *Tx) WriteSetSize() int { return t.writes.Len() }
 
 // ReadSetSize returns the number of distinct validated words.
-func (t *Tx) ReadSetSize() int { return len(t.reads) }
+func (t *Tx) ReadSetSize() int { return t.reads.Len() }
 
 var _ vm.Bus = (*Tx)(nil)

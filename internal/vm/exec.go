@@ -10,6 +10,31 @@ import (
 // ErrExited is returned by run loops when the program has exited.
 var ErrExited = fmt.Errorf("vm: program exited")
 
+// loadN reads a word at addr through the bus, notifying the profiler
+// hook. A method rather than a closure so the dispatch loop allocates
+// nothing per instruction.
+func (c *Context) loadN(addr uint64, width int64) uint64 {
+	if c.OnMem != nil {
+		c.OnMem(addr, false, width)
+	}
+	return c.Bus.Read64(addr)
+}
+
+// storeN writes a word at addr through the bus, notifying the profiler
+// hook.
+func (c *Context) storeN(addr uint64, v uint64, width int64) {
+	if c.OnMem != nil {
+		c.OnMem(addr, true, width)
+	}
+	c.Bus.Write64(addr, v)
+}
+
+// f reads a register as a float64.
+func (c *Context) f(r guest.Reg) float64 { return math.Float64frombits(c.Reg(r)) }
+
+// setf writes a float64 into a register.
+func (c *Context) setf(r guest.Reg, v float64) { c.SetReg(r, math.Float64bits(v)) }
+
 // ExecInst executes one instruction in context c, charging its cost to
 // the virtual clock, and returns the address of the next instruction.
 // next is the fall-through address (for the native runner this is
@@ -17,24 +42,9 @@ var ErrExited = fmt.Errorf("vm: program exited")
 // address that follows the instruction, which keeps call return
 // addresses and branch fall-throughs correct even for code executing
 // from a code cache at different host locations).
-func ExecInst(m *Machine, c *Context, in guest.Inst, next uint64) (uint64, error) {
+func ExecInst(m *Machine, c *Context, in *guest.Inst, next uint64) (uint64, error) {
 	c.Cycles += in.Op.Cycles()
 	c.Insts++
-
-	loadN := func(addr uint64, width int64) uint64 {
-		if c.OnMem != nil {
-			c.OnMem(addr, false, width)
-		}
-		return c.Bus.Read64(addr)
-	}
-	storeN := func(addr uint64, v uint64, width int64) {
-		if c.OnMem != nil {
-			c.OnMem(addr, true, width)
-		}
-		c.Bus.Write64(addr, v)
-	}
-	f := func(r guest.Reg) float64 { return math.Float64frombits(c.Reg(r)) }
-	setf := func(r guest.Reg, v float64) { c.SetReg(r, math.Float64bits(v)) }
 
 	switch in.Op {
 	case guest.NOP:
@@ -47,20 +57,20 @@ func ExecInst(m *Machine, c *Context, in guest.Inst, next uint64) (uint64, error
 	case guest.MOVI:
 		c.SetReg(in.Rd, uint64(in.Imm))
 	case guest.LD:
-		c.SetReg(in.Rd, loadN(c.EffAddr(in.M), 8))
+		c.SetReg(in.Rd, c.loadN(c.EffAddr(in.M), 8))
 	case guest.ST:
-		storeN(c.EffAddr(in.M), c.Reg(in.Rs), 8)
+		c.storeN(c.EffAddr(in.M), c.Reg(in.Rs), 8)
 	case guest.STI:
-		storeN(c.EffAddr(in.M), uint64(in.Imm), 8)
+		c.storeN(c.EffAddr(in.M), uint64(in.Imm), 8)
 	case guest.LEA:
 		c.SetReg(in.Rd, c.EffAddr(in.M))
 	case guest.PUSH:
 		sp := c.Reg(guest.SP) - 8
 		c.SetReg(guest.SP, sp)
-		storeN(sp, c.Reg(in.Rs), 8)
+		c.storeN(sp, c.Reg(in.Rs), 8)
 	case guest.POP:
 		sp := c.Reg(guest.SP)
-		c.SetReg(in.Rd, loadN(sp, 8))
+		c.SetReg(in.Rd, c.loadN(sp, 8))
 		c.SetReg(guest.SP, sp+8)
 
 	case guest.ADD:
@@ -111,21 +121,21 @@ func ExecInst(m *Machine, c *Context, in guest.Inst, next uint64) (uint64, error
 		c.SetReg(in.Rd, uint64(-int64(c.Reg(in.Rd))))
 
 	case guest.FADD:
-		setf(in.Rd, f(in.Rd)+f(in.Rs))
+		c.setf(in.Rd, c.f(in.Rd)+c.f(in.Rs))
 	case guest.FSUB:
-		setf(in.Rd, f(in.Rd)-f(in.Rs))
+		c.setf(in.Rd, c.f(in.Rd)-c.f(in.Rs))
 	case guest.FMUL:
-		setf(in.Rd, f(in.Rd)*f(in.Rs))
+		c.setf(in.Rd, c.f(in.Rd)*c.f(in.Rs))
 	case guest.FDIV:
-		setf(in.Rd, f(in.Rd)/f(in.Rs))
+		c.setf(in.Rd, c.f(in.Rd)/c.f(in.Rs))
 	case guest.FSQRT:
-		setf(in.Rd, math.Sqrt(f(in.Rs)))
+		c.setf(in.Rd, math.Sqrt(c.f(in.Rs)))
 	case guest.FNEG:
-		setf(in.Rd, -f(in.Rs))
+		c.setf(in.Rd, -c.f(in.Rs))
 	case guest.CVTIF:
-		setf(in.Rd, float64(int64(c.Reg(in.Rs))))
+		c.setf(in.Rd, float64(int64(c.Reg(in.Rs))))
 	case guest.CVTFI:
-		c.SetReg(in.Rd, uint64(int64(f(in.Rs))))
+		c.SetReg(in.Rd, uint64(int64(c.f(in.Rs))))
 
 	case guest.CMP:
 		a, b := int64(c.Reg(in.Rd)), int64(c.Reg(in.Rs))
@@ -134,7 +144,7 @@ func ExecInst(m *Machine, c *Context, in guest.Inst, next uint64) (uint64, error
 		a := int64(c.Reg(in.Rd))
 		c.ZF, c.LF = a == in.Imm, a < in.Imm
 	case guest.FCMP:
-		a, b := f(in.Rd), f(in.Rs)
+		a, b := c.f(in.Rd), c.f(in.Rs)
 		c.ZF, c.LF = a == b, a < b
 	case guest.TEST:
 		v := c.Reg(in.Rd) & c.Reg(in.Rs)
@@ -180,16 +190,16 @@ func ExecInst(m *Machine, c *Context, in guest.Inst, next uint64) (uint64, error
 	case guest.CALL:
 		sp := c.Reg(guest.SP) - 8
 		c.SetReg(guest.SP, sp)
-		storeN(sp, next, 8)
+		c.storeN(sp, next, 8)
 		return uint64(in.Imm), nil
 	case guest.CALLI:
 		sp := c.Reg(guest.SP) - 8
 		c.SetReg(guest.SP, sp)
-		storeN(sp, next, 8)
+		c.storeN(sp, next, 8)
 		return c.Reg(in.Rd), nil
 	case guest.RET:
 		sp := c.Reg(guest.SP)
-		ra := loadN(sp, 8)
+		ra := c.loadN(sp, 8)
 		c.SetReg(guest.SP, sp+8)
 		return ra, nil
 
@@ -221,7 +231,7 @@ func ExecInst(m *Machine, c *Context, in guest.Inst, next uint64) (uint64, error
 			c.VReg[in.Rd][i] *= c.VReg[in.Rs][i]
 		}
 	case guest.VBCST:
-		v := f(in.Rs)
+		v := c.f(in.Rs)
 		for i := 0; i < guest.VLEN; i++ {
 			c.VReg[in.Rd][i] = v
 		}

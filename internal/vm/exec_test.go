@@ -157,13 +157,15 @@ func TestIndirectJumpAndCall(t *testing.T) {
 	m, _ := NewMachine(exe)
 	c := m.NewContext(0, obj.DefaultStackTop)
 	c.SetReg(guest.R9, sym.Addr)
-	next, err := ExecInst(m, c, guest.NewInst(guest.JMPI, guest.R9, guest.RegNone), 0)
+	jmpi := guest.NewInst(guest.JMPI, guest.R9, guest.RegNone)
+	next, err := ExecInst(m, c, &jmpi, 0)
 	if err != nil || next != sym.Addr {
 		t.Fatalf("jmpi -> %#x, err %v", next, err)
 	}
 	// CALLI: pushes the return address and jumps.
 	c.SetReg(guest.SP, obj.DefaultStackTop)
-	next, err = ExecInst(m, c, guest.NewInst(guest.CALLI, guest.R9, guest.RegNone), 0x400aaa)
+	calli := guest.NewInst(guest.CALLI, guest.R9, guest.RegNone)
+	next, err = ExecInst(m, c, &calli, 0x400aaa)
 	if err != nil || next != sym.Addr {
 		t.Fatalf("calli -> %#x", next)
 	}

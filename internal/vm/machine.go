@@ -76,7 +76,12 @@ type Machine struct {
 	Libs []*obj.Library
 	Mem  *Memory
 
-	// decoded caches decoded instructions by address across exe and libs.
+	// exeInsts caches decoded executable instructions by code index
+	// (flat slice, no hashing on the fetch fast path); exeOK marks
+	// valid entries.
+	exeInsts []guest.Inst
+	exeOK    []bool
+	// decoded caches decoded library instructions by address.
 	decoded map[uint64]guest.Inst
 
 	// pltTarget maps a PLT stub address to its resolved library address.
@@ -92,10 +97,13 @@ type Machine struct {
 // NewMachine loads exe and libs: copies the data section into memory and
 // resolves PLT stubs against library exports.
 func NewMachine(exe *obj.Executable, libs ...*obj.Library) (*Machine, error) {
+	nInst := len(exe.Code) / guest.InstSize
 	m := &Machine{
 		Exe:       exe,
 		Libs:      libs,
 		Mem:       NewMemory(),
+		exeInsts:  make([]guest.Inst, nInst),
+		exeOK:     make([]bool, nInst),
 		decoded:   make(map[uint64]guest.Inst),
 		pltTarget: make(map[uint64]uint64),
 		heapNext:  obj.DefaultHeapBase,
@@ -128,6 +136,29 @@ func (m *Machine) NewContext(id int, stackTop uint64) *Context {
 // FetchInst decodes the instruction at addr from the executable or a
 // library, resolving PLT stubs to their library targets.
 func (m *Machine) FetchInst(addr uint64) (guest.Inst, error) {
+	// Fast path: executable code indexes a flat decode cache. The cache
+	// is sized in whole instructions, so bounding the index also rejects
+	// a truncated trailing fragment, which falls through to the decoding
+	// error path.
+	if addr >= m.Exe.CodeBase {
+		off := addr - m.Exe.CodeBase
+		if idx := off / guest.InstSize; idx < uint64(len(m.exeOK)) && off%guest.InstSize == 0 {
+			if m.exeOK[idx] {
+				return m.exeInsts[idx], nil
+			}
+			in, err := m.Exe.InstAt(addr)
+			if err != nil {
+				return guest.Inst{}, err
+			}
+			if target, ok := m.pltTarget[addr]; ok {
+				// Loader-patched PLT stub.
+				in = guest.NewInstI(guest.JMP, guest.RegNone, int64(target))
+			}
+			m.exeInsts[idx] = in
+			m.exeOK[idx] = true
+			return in, nil
+		}
+	}
 	if in, ok := m.decoded[addr]; ok {
 		return in, nil
 	}

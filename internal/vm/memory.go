@@ -1,6 +1,6 @@
-// Package vm implements the guest machine: sparse paged memory,
-// per-thread execution contexts, single-instruction semantics with a
-// virtual cycle cost model, and a native (unmodified) runner.
+// Package vm implements the guest machine: paged memory, per-thread
+// execution contexts, single-instruction semantics with a virtual cycle
+// cost model, and a native (unmodified) runner.
 //
 // The virtual cycle clock substitutes for wall-clock measurement on real
 // hardware: every instruction charges its cost-model latency to the
@@ -12,59 +12,188 @@ package vm
 
 import (
 	"encoding/binary"
-	"hash/fnv"
 	"sort"
 )
 
-const pageSize = 1 << 12
-const pageMask = pageSize - 1
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
 
-// Memory is a sparse, zero-filled, byte-addressable 64-bit space.
+	// leafBits pages share one directory leaf, so the map lookup in the
+	// translation slow path happens once per 4 MiB region rather than
+	// once per 4 KiB page.
+	leafBits = 10
+	leafMask = (1 << leafBits) - 1
+)
+
+// FNV-1a constants, folded 64 bits at a time over page contents.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// noPage is the TLB tag for an empty slot; no real page number reaches
+// it (addresses are 64-bit, page numbers at most 52-bit).
+const noPage = ^uint64(0)
+
+// page is one 4 KiB block plus its cached digest state. digest and
+// nonzero are valid only while dirty is false; every write path sets
+// dirty and the hash routines refresh lazily.
+type page struct {
+	data    [pageSize]byte
+	key     uint64 // addr >> pageShift
+	digest  uint64
+	nonzero bool
+	dirty   bool
+}
+
+// refresh recomputes the digest and nonzero flag in one pass over the
+// page, folding 64-bit words FNV-1a style.
+func (p *page) refresh() {
+	h := uint64(fnvOffset)
+	var nz uint64
+	for i := 0; i < pageSize; i += 8 {
+		w := binary.LittleEndian.Uint64(p.data[i:])
+		nz |= w
+		h = (h ^ w) * fnvPrime
+	}
+	p.digest = h
+	p.nonzero = nz != 0
+	p.dirty = false
+}
+
+// leaf is one directory entry: a flat array of page pointers covering a
+// 4 MiB aligned span.
+type leaf struct {
+	pages [1 << leafBits]*page
+}
+
+// Memory is a sparse, zero-filled, byte-addressable 64-bit space backed
+// by a two-level page table: a directory of 4 MiB leaves (map keyed by
+// high address bits, consulted only on TLB miss) each holding a flat
+// array of 4 KiB pages. A two-entry software TLB caches the most
+// recently touched pages so steady-state access needs no map lookup.
+//
 // All addresses are readable and writable; the simulator does not model
 // protection faults (the paper's transformations never rely on them).
 type Memory struct {
-	pages map[uint64]*[pageSize]byte
+	leaves map[uint64]*leaf
+
+	// all lists every allocated page for the hash routines; it is
+	// re-sorted by page number on demand after new allocations.
+	all    []*page
+	sorted bool
+
+	// Software TLB: the last two distinct pages touched, most recent
+	// first. Single-threaded by design (the DBM steps contexts
+	// round-robin on one goroutine), so no synchronisation is needed.
+	tlbKey  [2]uint64
+	tlbPage [2]*page
+
+	// lastLeaf caches the directory entry of the most recent TLB miss,
+	// so misses within the same 4 MiB span skip the map.
+	lastLeafKey uint64
+	lastLeaf    *leaf
 }
 
 // NewMemory returns an empty address space.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+	return &Memory{
+		leaves: make(map[uint64]*leaf),
+		tlbKey: [2]uint64{noPage, noPage},
+	}
 }
 
-func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
-	key := addr >> 12
-	p := m.pages[key]
-	if p == nil && create {
-		p = new([pageSize]byte)
-		m.pages[key] = p
+// find returns the resident page containing addr, or nil.
+func (m *Memory) find(addr uint64) *page {
+	key := addr >> pageShift
+	if key == m.tlbKey[0] {
+		return m.tlbPage[0]
 	}
+	if key == m.tlbKey[1] {
+		m.tlbKey[0], m.tlbKey[1] = m.tlbKey[1], m.tlbKey[0]
+		m.tlbPage[0], m.tlbPage[1] = m.tlbPage[1], m.tlbPage[0]
+		return m.tlbPage[0]
+	}
+	return m.walk(key, false)
+}
+
+// ensure returns the page containing addr, allocating it if absent.
+func (m *Memory) ensure(addr uint64) *page {
+	key := addr >> pageShift
+	if key == m.tlbKey[0] {
+		return m.tlbPage[0]
+	}
+	if key == m.tlbKey[1] {
+		m.tlbKey[0], m.tlbKey[1] = m.tlbKey[1], m.tlbKey[0]
+		m.tlbPage[0], m.tlbPage[1] = m.tlbPage[1], m.tlbPage[0]
+		return m.tlbPage[0]
+	}
+	return m.walk(key, true)
+}
+
+// walk is the TLB-miss path: two-level table lookup, optional
+// allocation, and TLB fill. Misses without allocation are not cached,
+// so a later allocation of the same page cannot be shadowed by a stale
+// negative entry.
+func (m *Memory) walk(key uint64, create bool) *page {
+	lf := m.lastLeaf
+	if lf == nil || m.lastLeafKey != key>>leafBits {
+		lf = m.leaves[key>>leafBits]
+		if lf == nil {
+			if !create {
+				return nil
+			}
+			lf = new(leaf)
+			m.leaves[key>>leafBits] = lf
+		}
+		m.lastLeafKey = key >> leafBits
+		m.lastLeaf = lf
+	}
+	p := lf.pages[key&leafMask]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		p = &page{key: key, dirty: true}
+		lf.pages[key&leafMask] = p
+		m.all = append(m.all, p)
+		m.sorted = false
+	}
+	m.tlbKey[1], m.tlbPage[1] = m.tlbKey[0], m.tlbPage[0]
+	m.tlbKey[0], m.tlbPage[0] = key, p
 	return p
 }
 
 // Load8 returns the byte at addr.
 func (m *Memory) Load8(addr uint64) byte {
-	p := m.page(addr, false)
+	p := m.find(addr)
 	if p == nil {
 		return 0
 	}
-	return p[addr&pageMask]
+	return p.data[addr&pageMask]
 }
 
 // Store8 sets the byte at addr.
 func (m *Memory) Store8(addr uint64, v byte) {
-	m.page(addr, true)[addr&pageMask] = v
+	p := m.ensure(addr)
+	p.dirty = true
+	p.data[addr&pageMask] = v
 }
 
 // Read64 loads a little-endian 64-bit word from addr.
 func (m *Memory) Read64(addr uint64) uint64 {
-	off := addr & pageMask
-	if off+8 <= pageSize {
-		p := m.page(addr, false)
-		if p == nil {
-			return 0
+	if off := addr & pageMask; off <= pageSize-8 {
+		if p := m.find(addr); p != nil {
+			return binary.LittleEndian.Uint64(p.data[off : off+8])
 		}
-		return binary.LittleEndian.Uint64(p[off : off+8])
+		return 0
 	}
+	return m.read64Cross(addr)
+}
+
+func (m *Memory) read64Cross(addr uint64) uint64 {
 	var v uint64
 	for i := uint64(0); i < 8; i++ {
 		v |= uint64(m.Load8(addr+i)) << (8 * i)
@@ -74,83 +203,126 @@ func (m *Memory) Read64(addr uint64) uint64 {
 
 // Write64 stores a little-endian 64-bit word at addr.
 func (m *Memory) Write64(addr uint64, v uint64) {
-	off := addr & pageMask
-	if off+8 <= pageSize {
-		binary.LittleEndian.PutUint64(m.page(addr, true)[off:off+8], v)
+	if off := addr & pageMask; off <= pageSize-8 {
+		p := m.ensure(addr)
+		p.dirty = true
+		binary.LittleEndian.PutUint64(p.data[off:off+8], v)
 		return
 	}
+	m.write64Cross(addr, v)
+}
+
+func (m *Memory) write64Cross(addr uint64, v uint64) {
 	for i := uint64(0); i < 8; i++ {
 		m.Store8(addr+i, byte(v>>(8*i)))
 	}
 }
 
-// WriteBytes copies b into memory starting at addr.
+// WriteBytes copies b into memory starting at addr, one page span per
+// copy.
 func (m *Memory) WriteBytes(addr uint64, b []byte) {
-	for i, c := range b {
-		m.Store8(addr+uint64(i), c)
+	for len(b) > 0 {
+		p := m.ensure(addr)
+		p.dirty = true
+		n := copy(p.data[addr&pageMask:], b)
+		b = b[n:]
+		addr += uint64(n)
 	}
 }
 
 // ReadBytes copies n bytes starting at addr.
 func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = m.Load8(addr + uint64(i))
-	}
+	m.ReadInto(addr, out)
 	return out
+}
+
+// ReadInto fills dst with the bytes starting at addr, one page span per
+// copy, without allocating.
+func (m *Memory) ReadInto(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & pageMask
+		span := pageSize - int(off)
+		if span > len(dst) {
+			span = len(dst)
+		}
+		if p := m.find(addr); p != nil {
+			copy(dst[:span], p.data[off:])
+		} else {
+			clear(dst[:span])
+		}
+		dst = dst[span:]
+		addr += uint64(span)
+	}
+}
+
+// Copy moves n bytes from src to dst inside the address space using
+// page-span copies, without allocating. Overlapping ranges copy in
+// ascending address order (the runtime's writeback ranges never
+// overlap).
+func (m *Memory) Copy(dst, src uint64, n int) {
+	for n > 0 {
+		span := pageSize - int(src&pageMask)
+		if d := pageSize - int(dst&pageMask); d < span {
+			span = d
+		}
+		if span > n {
+			span = n
+		}
+		dp := m.ensure(dst)
+		dp.dirty = true
+		do := dst & pageMask
+		if sp := m.find(src); sp != nil {
+			copy(dp.data[do:int(do)+span], sp.data[src&pageMask:])
+		} else {
+			clear(dp.data[do : int(do)+span])
+		}
+		src += uint64(span)
+		dst += uint64(span)
+		n -= span
+	}
 }
 
 // Hash returns a digest over all resident pages, used to compare final
 // memory images between native and parallelised executions. Zero pages
 // that were never touched do not contribute, and pages that contain only
-// zeroes hash identically to absent pages.
+// zeroes hash identically to absent pages. Per-page digests are cached
+// and only pages written since the last call are re-hashed.
 func (m *Memory) Hash() uint64 {
-	keys := make([]uint64, 0, len(m.pages))
-	for k, p := range m.pages {
-		if !allZero(p) {
-			keys = append(keys, k)
-		}
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	h := fnv.New64a()
-	var kb [8]byte
-	for _, k := range keys {
-		binary.LittleEndian.PutUint64(kb[:], k)
-		h.Write(kb[:])
-		h.Write(m.pages[k][:])
-	}
-	return h.Sum64()
+	return m.hashBelow(^uint64(0))
 }
 
 // HashBelow digests only resident pages whose addresses are below
 // limit, so runtime-private regions (worker stacks, TLS) can be
 // excluded when comparing a parallelised run against a native one.
 func (m *Memory) HashBelow(limit uint64) uint64 {
-	keys := make([]uint64, 0, len(m.pages))
-	for k, p := range m.pages {
-		if k<<12 < limit && !allZero(p) {
-			keys = append(keys, k)
-		}
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	h := fnv.New64a()
-	var kb [8]byte
-	for _, k := range keys {
-		binary.LittleEndian.PutUint64(kb[:], k)
-		h.Write(kb[:])
-		h.Write(m.pages[k][:])
-	}
-	return h.Sum64()
+	return m.hashBelow(limit)
 }
 
-func allZero(p *[pageSize]byte) bool {
-	for _, b := range p {
-		if b != 0 {
-			return false
-		}
+func (m *Memory) hashBelow(limit uint64) uint64 {
+	if !m.sorted {
+		sort.Slice(m.all, func(i, j int) bool { return m.all[i].key < m.all[j].key })
+		m.sorted = true
 	}
-	return true
+	h := uint64(fnvOffset)
+	for _, p := range m.all {
+		if p.key<<pageShift >= limit {
+			break
+		}
+		if p.dirty {
+			p.refresh()
+		}
+		if !p.nonzero {
+			continue
+		}
+		h = (h ^ p.key) * fnvPrime
+		h = (h ^ p.digest) * fnvPrime
+	}
+	return h
 }
+
+// Pages returns the number of resident pages (diagnostics only).
+func (m *Memory) Pages() int { return len(m.all) }
 
 // Bus is the memory interface instructions execute against. The plain
 // machine memory implements it; the STM wraps it with buffering during

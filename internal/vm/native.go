@@ -54,7 +54,7 @@ func RunContext(m *Machine, c *Context, maxSteps int64) error {
 		if err != nil {
 			return err
 		}
-		next, err := ExecInst(m, c, in, c.PC+guest.InstSize)
+		next, err := ExecInst(m, c, &in, c.PC+guest.InstSize)
 		if err == ErrExited {
 			return nil
 		}

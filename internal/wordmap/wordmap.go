@@ -1,0 +1,142 @@
+// Package wordmap provides a small open-addressed hash table keyed by
+// 64-bit words with linear probing, shared by the STM read/write sets
+// and the dependence profiler. It replaces map[uint64]V on
+// per-instruction fast paths: no runtime map machinery, and the backing
+// arrays are reusable across transactions/invocations via Reset.
+package wordmap
+
+// minCap is the initial table size; must be a power of two.
+const minCap = 64
+
+// Table maps 64-bit word addresses to values of type V. The zero value
+// is ready to use; the table grows at 50% load.
+type Table[V any] struct {
+	keys []uint64
+	vals []V
+	occ  []bool
+	n    int
+}
+
+// Mix is a 64-bit finalizer (splitmix64-style) spreading word addresses
+// across the table.
+func Mix(a uint64) uint64 {
+	a ^= a >> 33
+	a *= 0xff51afd7ed558ccd
+	a ^= a >> 33
+	a *= 0xc4ceb9fe1a85ec53
+	a ^= a >> 33
+	return a
+}
+
+func (t *Table[V]) init() {
+	t.keys = make([]uint64, minCap)
+	t.vals = make([]V, minCap)
+	t.occ = make([]bool, minCap)
+	t.n = 0
+}
+
+// Reset empties the table, keeping the backing arrays.
+func (t *Table[V]) Reset() {
+	if t.keys == nil {
+		t.init()
+		return
+	}
+	clear(t.occ)
+	t.n = 0
+}
+
+// Len returns the number of stored keys.
+func (t *Table[V]) Len() int { return t.n }
+
+func (t *Table[V]) slot(addr uint64) int {
+	mask := uint64(len(t.keys) - 1)
+	i := Mix(addr) & mask
+	for t.occ[i] && t.keys[i] != addr {
+		i = (i + 1) & mask
+	}
+	return int(i)
+}
+
+// Get returns the value stored for addr.
+func (t *Table[V]) Get(addr uint64) (V, bool) {
+	if t.n == 0 {
+		var zero V
+		return zero, false
+	}
+	i := t.slot(addr)
+	if !t.occ[i] {
+		var zero V
+		return zero, false
+	}
+	return t.vals[i], true
+}
+
+// Put inserts or overwrites addr→val and reports whether the key was
+// newly inserted.
+func (t *Table[V]) Put(addr uint64, val V) bool {
+	if t.keys == nil {
+		t.init()
+	}
+	i := t.slot(addr)
+	if t.occ[i] {
+		t.vals[i] = val
+		return false
+	}
+	t.occ[i] = true
+	t.keys[i] = addr
+	t.vals[i] = val
+	t.n++
+	if t.n*2 >= len(t.keys) {
+		t.grow()
+	}
+	return true
+}
+
+// PutIfAbsent stores addr→val only if addr is not present, and reports
+// whether it inserted.
+func (t *Table[V]) PutIfAbsent(addr uint64, val V) bool {
+	if t.keys == nil {
+		t.init()
+	}
+	i := t.slot(addr)
+	if t.occ[i] {
+		return false
+	}
+	t.occ[i] = true
+	t.keys[i] = addr
+	t.vals[i] = val
+	t.n++
+	if t.n*2 >= len(t.keys) {
+		t.grow()
+	}
+	return true
+}
+
+func (t *Table[V]) grow() {
+	oldKeys, oldVals, oldOcc := t.keys, t.vals, t.occ
+	size := len(oldKeys) * 2
+	t.keys = make([]uint64, size)
+	t.vals = make([]V, size)
+	t.occ = make([]bool, size)
+	t.n = 0
+	for i, used := range oldOcc {
+		if used {
+			j := t.slot(oldKeys[i])
+			t.keys[j] = oldKeys[i]
+			t.vals[j] = oldVals[i]
+			t.occ[j] = true
+			t.n++
+		}
+	}
+}
+
+// Range calls f for every stored key/value until f returns false. The
+// iteration order is the table's probe layout: deterministic for a
+// given insertion history, but not sorted.
+func (t *Table[V]) Range(f func(addr uint64, val V) bool) {
+	for i, used := range t.occ {
+		if used && !f(t.keys[i], t.vals[i]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package wordmap
+
+import "testing"
+
+func TestBasicAndZeroKey(t *testing.T) {
+	var m Table[uint64]
+	if _, ok := m.Get(0); ok {
+		t.Fatal("empty table reports key 0")
+	}
+	if !m.Put(0, 7) {
+		t.Fatal("fresh insert of key 0 not reported")
+	}
+	if v, ok := m.Get(0); !ok || v != 7 {
+		t.Fatalf("key 0 = %d,%v", v, ok)
+	}
+	if m.Put(0, 9) {
+		t.Fatal("overwrite reported as insert")
+	}
+	if v, _ := m.Get(0); v != 9 {
+		t.Fatal("overwrite lost")
+	}
+	if m.PutIfAbsent(0, 1) {
+		t.Fatal("PutIfAbsent replaced existing key")
+	}
+	if v, _ := m.Get(0); v != 9 {
+		t.Fatal("PutIfAbsent mutated existing value")
+	}
+}
+
+func TestGrowKeepsAllKeys(t *testing.T) {
+	var m Table[uint64]
+	const n = 10_000
+	for i := uint64(0); i < n; i++ {
+		m.Put(i*8, i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := m.Get(i * 8); !ok || v != i {
+			t.Fatalf("key %d lost across grows", i*8)
+		}
+	}
+}
+
+func TestResetKeepsCapacityDropsKeys(t *testing.T) {
+	var m Table[uint64]
+	for i := uint64(0); i < 100; i++ {
+		m.Put(i, i)
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatal("Reset kept keys")
+	}
+	if _, ok := m.Get(5); ok {
+		t.Fatal("Reset kept key 5")
+	}
+	if !m.Put(5, 50) {
+		t.Fatal("insert after Reset not reported as fresh")
+	}
+}
+
+func TestRangeVisitsEverything(t *testing.T) {
+	var m Table[uint64]
+	want := map[uint64]uint64{}
+	for i := uint64(0); i < 500; i++ {
+		m.Put(i*16, i)
+		want[i*16] = i
+	}
+	seen := map[uint64]uint64{}
+	m.Range(func(k, v uint64) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("Range visited %d keys, want %d", len(seen), len(want))
+	}
+	for k, v := range want {
+		if seen[k] != v {
+			t.Fatalf("key %d: %d != %d", k, seen[k], v)
+		}
+	}
+}
+
+// BenchmarkTable measures the raw open-addressed table against the
+// previous map[uint64]uint64 representation.
+func BenchmarkTable(b *testing.B) {
+	var m Table[uint64]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			m.Reset()
+		}
+		a := uint64(i%512) * 8
+		m.Put(a, uint64(i))
+		if _, ok := m.Get(a); !ok {
+			b.Fatal("lost key")
+		}
+	}
+}

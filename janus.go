@@ -95,12 +95,15 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 		if trainExe == nil {
 			trainExe = exe
 		} else {
-			trainProg, err = analyzer.Analyze(trainExe)
+			// Memoised: the train binary is re-analysed identically for
+			// every configuration that profiles it, and the profiling
+			// path never mutates the Program.
+			trainProg, err = runAnalyzeMemo(trainExe)
 			if err != nil {
 				return nil, fmt.Errorf("janus: train analysis: %w", err)
 			}
 		}
-		pr, err := RunProfiling(trainExe, trainProg, libs...)
+		pr, err := runProfilingMemo(trainExe, trainProg, libs...)
 		if err != nil {
 			return nil, fmt.Errorf("janus: profiling: %w", err)
 		}
@@ -122,7 +125,7 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 		return nil, fmt.Errorf("janus: schedule generation: %w", err)
 	}
 
-	native, err := vm.RunNative(exe, libs...)
+	native, err := runNativeMemo(exe, libs...)
 	if err != nil {
 		return nil, fmt.Errorf("janus: native run: %w", err)
 	}
@@ -225,9 +228,11 @@ func RunProfiling(exe *obj.Executable, prog *analyzer.Program, libs ...*obj.Libr
 	}, nil
 }
 
-// RunNativeBaseline executes exe without any modification.
+// RunNativeBaseline executes exe without any modification. The result
+// is memoised per executable: native execution is deterministic, so
+// repeated baseline runs of the same binary return the cached result.
 func RunNativeBaseline(exe *obj.Executable, libs ...*obj.Library) (*vm.Result, error) {
-	return vm.RunNative(exe, libs...)
+	return runNativeMemo(exe, libs...)
 }
 
 // RunBareDBM executes exe under the DBM with no rewrite schedule (the

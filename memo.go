@@ -1,0 +1,129 @@
+package janus
+
+import (
+	"sync"
+
+	"janus/internal/analyzer"
+	"janus/internal/obj"
+	"janus/internal/vm"
+)
+
+// Native execution and the profiling stage are deterministic functions
+// of the binary: the evaluation harness re-runs the same baseline many
+// times (figure 9 alone replays one binary at eight thread counts, each
+// replay needing the identical native result and train profile), so
+// both are memoised per executable. Entries key on the *obj.Executable
+// pointer — the workload builders return a fresh executable per build,
+// so a pointer can never alias two different programs — and the cache
+// is bounded so long-lived processes cannot grow it without limit.
+
+// memoLimit bounds each memo table; when full the table is dropped
+// wholesale (the harness working set is far smaller).
+const memoLimit = 64
+
+var memoMu sync.Mutex
+
+type nativeEntry struct {
+	libs []*obj.Library
+	res  *vm.Result
+}
+
+var nativeMemo = map[*obj.Executable]nativeEntry{}
+
+func sameLibs(a, b []*obj.Library) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runNativeMemo returns the (deterministic) native execution result for
+// exe, running it at most once per executable.
+func runNativeMemo(exe *obj.Executable, libs ...*obj.Library) (*vm.Result, error) {
+	memoMu.Lock()
+	if e, ok := nativeMemo[exe]; ok && sameLibs(e.libs, libs) {
+		memoMu.Unlock()
+		return e.res, nil
+	}
+	memoMu.Unlock()
+	res, err := vm.RunNative(exe, libs...)
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	if len(nativeMemo) >= memoLimit {
+		nativeMemo = map[*obj.Executable]nativeEntry{}
+	}
+	nativeMemo[exe] = nativeEntry{libs: libs, res: res}
+	memoMu.Unlock()
+	return res, nil
+}
+
+var analyzeMemo = map[*obj.Executable]*analyzer.Program{}
+
+// runAnalyzeMemo returns the static analysis of exe, running it at
+// most once per executable. The shared Program is read-only in the
+// profiling path (GenProfileSchedule builds a fresh schedule; the
+// Apply* mutators are only ever called on per-run analyses).
+func runAnalyzeMemo(exe *obj.Executable) (*analyzer.Program, error) {
+	memoMu.Lock()
+	if prog, ok := analyzeMemo[exe]; ok {
+		memoMu.Unlock()
+		return prog, nil
+	}
+	memoMu.Unlock()
+	prog, err := analyzer.Analyze(exe)
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	if len(analyzeMemo) >= memoLimit {
+		analyzeMemo = map[*obj.Executable]*analyzer.Program{}
+	}
+	analyzeMemo[exe] = prog
+	memoMu.Unlock()
+	return prog, nil
+}
+
+// profileKey identifies one profiling run: the binary and the analysis
+// it was instrumented from (a different analysis of the same binary
+// must not reuse the profile).
+type profileKey struct {
+	exe  *obj.Executable
+	prog *analyzer.Program
+}
+
+type profileEntry struct {
+	libs []*obj.Library
+	res  *ProfileResult
+}
+
+var profileMemo = map[profileKey]profileEntry{}
+
+// runProfilingMemo returns the training-stage profile for exe under
+// prog, running it at most once per (executable, analysis) pair.
+func runProfilingMemo(exe *obj.Executable, prog *analyzer.Program, libs ...*obj.Library) (*ProfileResult, error) {
+	k := profileKey{exe: exe, prog: prog}
+	memoMu.Lock()
+	if e, ok := profileMemo[k]; ok && sameLibs(e.libs, libs) {
+		memoMu.Unlock()
+		return e.res, nil
+	}
+	memoMu.Unlock()
+	pr, err := RunProfiling(exe, prog, libs...)
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	if len(profileMemo) >= memoLimit {
+		profileMemo = map[profileKey]profileEntry{}
+	}
+	profileMemo[k] = profileEntry{libs: libs, res: pr}
+	memoMu.Unlock()
+	return pr, nil
+}
