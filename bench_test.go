@@ -1,6 +1,6 @@
 // Benchmarks that regenerate every table and figure of the paper's
 // evaluation (one benchmark per artefact), plus ablation benchmarks for
-// the design decisions DESIGN.md calls out. Run with:
+// the design decisions ARCHITECTURE.md calls out. Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -138,7 +138,7 @@ func BenchmarkTableI_BoundsChecks(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
-// Ablation benchmarks for DESIGN.md's design decisions.
+// Ablation benchmarks for ARCHITECTURE.md's design decisions.
 // ---------------------------------------------------------------------
 
 // BenchmarkAblation_NoProfile measures the cost of skipping the

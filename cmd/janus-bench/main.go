@@ -4,6 +4,8 @@
 //	janus-bench                          all experiments
 //	janus-bench -fig 7                   one figure (6..12)
 //	janus-bench -table 1                 one table (1 or 2)
+//	janus-bench -host-parallel=false     force the single-goroutine region
+//	                                     engine (outputs are byte-identical)
 //	janus-bench -engine-json BENCH_engine.json
 //	                                     execution-engine perf snapshot
 package main
@@ -20,8 +22,11 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (6..12); 0 = all")
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
 	threads := flag.Int("threads", harness.DefaultThreads, "thread count")
+	hostParallel := flag.Bool("host-parallel", true, "run eligible parallel regions on host goroutines; false forces the single-goroutine round-robin engine (figure/table outputs are bit-identical either way)")
 	engineJSON := flag.String("engine-json", "", "run the execution-engine micro-benchmarks and write a JSON perf snapshot to this path")
 	flag.Parse()
+
+	harness.SetHostParallel(*hostParallel)
 
 	if *engineJSON != "" {
 		exitOn(writeEngineSnapshot(*engineJSON))

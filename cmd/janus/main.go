@@ -144,7 +144,7 @@ func main() {
 		fmt.Printf("  native cycles      %12d\n", rep.Native.Cycles)
 		fmt.Printf("  janus cycles       %12d\n", rep.DBM.Cycles)
 		fmt.Printf("  loops selected     %12d\n", rep.Selected)
-		fmt.Printf("  parallel regions   %12d (fallbacks %d)\n", st.ParRegions, st.SeqFallbacks)
+		fmt.Printf("  parallel regions   %12d (host-parallel %d, fallbacks %d)\n", st.ParRegions, st.HostParRegions, st.SeqFallbacks)
 		fmt.Printf("  checks run/failed  %9d/%d\n", st.ChecksRun, st.ChecksFailed)
 		fmt.Printf("  tx start/commit/abort %6d/%d/%d\n", st.TxStarted, st.TxCommits, st.TxAborts)
 		fmt.Printf("  blocks translated  %12d (%d insts)\n", st.TransBlocks, st.TransInsts)

@@ -64,8 +64,11 @@ type Result struct {
 }
 
 // Parallelise runs the modelled compiler over exe with the given thread
-// count and returns the achieved speedup.
-func Parallelise(kind Kind, exe *obj.Executable, threads int, libs ...*obj.Library) (*Result, error) {
+// count and returns the achieved speedup. hostParallel selects the DBM
+// region engine (results are bit-identical either way; callers thread
+// through their engine choice so a single-goroutine A/B run really is
+// single-goroutine end to end).
+func Parallelise(kind Kind, exe *obj.Executable, threads int, hostParallel bool, libs ...*obj.Library) (*Result, error) {
 	prog, err := analyzer.Analyze(exe)
 	if err != nil {
 		return nil, err
@@ -104,6 +107,7 @@ func Parallelise(kind Kind, exe *obj.Executable, threads int, libs ...*obj.Libra
 	cfg := dbm.Config{
 		Threads:          threads,
 		Parallel:         true,
+		HostParallel:     hostParallel,
 		MinIterPerThread: 4,
 		MaxSteps:         vm.DefaultMaxSteps,
 		Cost:             staticCost(),

@@ -3,10 +3,22 @@
 // caches, consults the rewrite-schedule hash table before caching, and
 // invokes the rule handlers that transform the code (figure 2(b)).
 //
-// Execution is deterministic: parallel loop threads are stepped
-// round-robin at basic-block granularity with per-thread virtual cycle
-// clocks; the elapsed time of a parallel region is the maximum thread
-// clock plus orchestration overheads (see DESIGN.md).
+// Execution is deterministic and the elapsed time of a parallel region
+// is always the maximum thread virtual-cycle clock plus orchestration
+// overheads (see ARCHITECTURE.md). Two region engines produce that
+// result:
+//
+//   - round-robin: guest threads stepped at basic-block granularity on
+//     one goroutine. Fully general — the fixed schedule orders
+//     speculative commits and syscalls.
+//   - host-parallel: one host goroutine per guest thread, used when a
+//     static scan of the loop body proves the threads cannot observe
+//     each other (see hostpar.go). Per-thread code caches, memory
+//     views and counters keep the hot paths lock-free.
+//
+// Simulated results — virtual cycles, figures, memory hashes — are
+// bit-identical between the engines and independent of GOMAXPROCS;
+// only host wall-clock differs.
 package dbm
 
 import (
@@ -72,6 +84,15 @@ type Config struct {
 	Parallel bool
 	// Profile enables the profiling rule handlers.
 	Profile bool
+	// HostParallel runs eligible parallel regions on real host
+	// goroutines (one per guest thread) instead of stepping guest
+	// threads round-robin on one goroutine. Virtual-cycle results are
+	// bit-identical either way — eligibility is established by a static
+	// scan of the loop body (see hostpar.go) — so this trades nothing
+	// but host wall-clock. Regions the scan cannot prove safe
+	// (syscalls, indirect control flow, speculation) fall back to the
+	// round-robin engine.
+	HostParallel bool
 	// MinIterPerThread is the profitability floor: loops with fewer
 	// iterations per thread run sequentially.
 	MinIterPerThread int64
@@ -86,6 +107,7 @@ func DefaultConfig(threads int) Config {
 	return Config{
 		Threads:          threads,
 		Parallel:         true,
+		HostParallel:     true,
 		MinIterPerThread: 4,
 		MaxSteps:         vm.DefaultMaxSteps,
 		Cost:             DefaultCost(),
@@ -103,10 +125,13 @@ type Stats struct {
 	InitFinishCycles int64
 	CheckCycles      int64
 	// Parallelisation events.
-	Invocations  int64
-	ParRegions   int64
-	SeqFallbacks int64
-	CacheFlushes int64
+	Invocations int64
+	ParRegions  int64
+	// HostParRegions counts the regions that ran on host goroutines
+	// (the remainder of ParRegions used the round-robin engine).
+	HostParRegions int64
+	SeqFallbacks   int64
+	CacheFlushes   int64
 	// Runtime checks.
 	ChecksRun    int64
 	ChecksFailed int64
@@ -138,8 +163,19 @@ type Executor struct {
 	// caches[t] is thread t's private code cache.
 	caches []map[uint64]*tblock
 	// lastBlk[t] is the block thread t executed last, the anchor for
-	// block linking in blockFor.
+	// block linking in blockFor. Entries are only ever touched by the
+	// owning thread, so host-parallel threads never contend.
 	lastBlk []*tblock
+
+	// views[t] is thread t's private memory view (software TLB +
+	// last-leaf cache) over the shared machine memory.
+	views []*vm.MemView
+
+	// hostParScan caches the per-loop host-parallel eligibility verdict
+	// (the loop body is static, so one scan per loop suffices): the set
+	// of statically reachable body addresses for an eligible loop, nil
+	// for an ineligible one.
+	hostParScan map[int32]map[uint64]bool
 
 	// main is the program's main context.
 	main *vm.Context
@@ -147,6 +183,15 @@ type Executor struct {
 	// loop is the active parallel-region state (nil outside regions).
 	loop       *jrt.LoopCtx
 	inParallel bool
+	// hostParActive is set while region threads run on host goroutines,
+	// and hostParSet then holds the active loop's scanned address set.
+	// Written only by the main thread before spawning and after joining
+	// the workers; workers read them to refuse any block the
+	// eligibility scan did not see (plus schedule-ordered work:
+	// syscalls, transactions) — work that only a defeated static scan
+	// could reach — failing loudly instead of racing.
+	hostParActive bool
+	hostParSet    map[uint64]bool
 
 	// Per-loop metadata precomputed from the schedule.
 	exitTargets map[int32]map[uint64]bool
@@ -205,6 +250,8 @@ func New(exe *obj.Executable, s *rules.Schedule, cfg Config, libs ...*obj.Librar
 		Cfg:         cfg,
 		caches:      make([]map[uint64]*tblock, cfg.Threads),
 		lastBlk:     make([]*tblock, cfg.Threads),
+		views:       make([]*vm.MemView, cfg.Threads),
+		hostParScan: map[int32]map[uint64]bool{},
 		exitTargets: map[int32]map[uint64]bool{},
 		boundData:   map[int32]rules.UpdateBoundData{},
 		privSlots:   map[int32]map[int32]rules.MemPrivatiseData{},
@@ -221,6 +268,7 @@ func New(exe *obj.Executable, s *rules.Schedule, cfg Config, libs ...*obj.Librar
 	}
 	for i := range ex.caches {
 		ex.caches[i] = map[uint64]*tblock{}
+		ex.views[i] = m.Mem.NewView()
 	}
 	for _, r := range s.Rules {
 		switch r.ID {
@@ -263,6 +311,20 @@ type Result struct {
 	Stats Stats
 }
 
+// fold drains thread t's locally accumulated counters into the
+// executor's global step budget and stats. Threads accumulate locally
+// so host-parallel execution never races on shared counters; folding
+// happens at deterministic points (after each sequential block, and in
+// thread-ID order when a parallel region joins), so the folded totals
+// are identical whichever engine ran the region.
+func (ex *Executor) fold(t *jrt.Thread) {
+	ex.steps += t.Steps
+	ex.Stats.TransBlocks += t.TransBlocks
+	ex.Stats.TransInsts += t.TransInsts
+	ex.Stats.TransCycles += t.TransCycles
+	t.Steps, t.TransBlocks, t.TransInsts, t.TransCycles = 0, 0, 0, 0
+}
+
 // Run executes the program to completion under the DBM.
 func (ex *Executor) Run() (*Result, error) {
 	t := &jrt.Thread{ID: 0, Ctx: ex.main}
@@ -270,7 +332,9 @@ func (ex *Executor) Run() (*Result, error) {
 		if ex.steps >= ex.Cfg.MaxSteps {
 			return nil, fmt.Errorf("dbm: exceeded %d steps", ex.Cfg.MaxSteps)
 		}
-		if err := ex.stepBlock(t); err != nil {
+		err := ex.stepBlock(t)
+		ex.fold(t)
+		if err != nil {
 			if err == vm.ErrExited {
 				break
 			}

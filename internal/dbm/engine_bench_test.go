@@ -1,0 +1,15 @@
+package dbm_test
+
+// Thin wrappers over the shared region-engine micro-benchmark bodies in
+// internal/enginebench, which janus-bench -engine-json runs verbatim:
+// `go test -bench` and the committed BENCH_engine.json snapshot always
+// measure the same workloads.
+
+import (
+	"testing"
+
+	"janus/internal/enginebench"
+)
+
+func BenchmarkRegionRoundRobin(b *testing.B)   { enginebench.ByName("RegionRoundRobin").Fn(b) }
+func BenchmarkRegionHostParallel(b *testing.B) { enginebench.ByName("RegionHostParallel").Fn(b) }

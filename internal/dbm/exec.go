@@ -23,6 +23,23 @@ func (ex *Executor) stepBlock(t *jrt.Thread) error {
 	if err != nil {
 		return err
 	}
+	if ex.hostParActive {
+		// Allowlist check: only a defeated eligibility verdict (e.g. a
+		// redirected return address) can fail it — refuse rather than
+		// execute unscanned code, or a syscall, on a concurrent worker.
+		// The verdict is static per (block, loop), so it is stamped on
+		// the thread-private block and steady state pays two compares.
+		if b.scanLoop != ex.loop.LoopID {
+			b.scanLoop = ex.loop.LoopID
+			b.scanOK = !b.hasSyscall && ex.hostParSet[b.start]
+		}
+		if !b.scanOK {
+			if b.hasSyscall && ex.hostParSet[b.start] {
+				return errHostParSyscall
+			}
+			return errHostParEscaped
+		}
+	}
 	ex.lastBlk[t.ID] = b
 	t.Ctx.Cycles += ex.Cfg.Cost.Dispatch
 	for i := range b.items {
@@ -39,7 +56,7 @@ func (ex *Executor) stepBlock(t *jrt.Thread) error {
 			}
 		}
 		next, err := ex.execItem(t, it)
-		ex.steps++
+		t.Steps++
 		if ex.Cfg.Profile {
 			ex.Cov.Step(1)
 			if ex.Ex.Active() {
@@ -175,6 +192,11 @@ func (ex *Executor) runHandler(t *jrt.Thread, it *titem, r rules.Rule) (*redirec
 		// sequential fallback path) costs nothing.
 
 	case rules.TX_START:
+		if ex.hostParActive {
+			// See errHostParSyscall: speculation needs the round-robin
+			// commit order.
+			return nil, errHostParTx
+		}
 		if ex.inParallel && ex.tx[t.ID] == nil && !ex.suppressTx[t.ID] {
 			cp := stm.Checkpoint{GPR: t.Ctx.GPR, ZF: t.Ctx.ZF, LF: t.Ctx.LF, PC: it.addr}
 			if spare := ex.txSpare[t.ID]; spare != nil {
@@ -215,7 +237,7 @@ func (ex *Executor) finishTx(t *jrt.Thread, tx *stm.Tx) (*redirect, error) {
 		tx.Commit()
 		ex.tx[t.ID] = nil
 		ex.txSpare[t.ID] = tx
-		c.Bus = ex.M.Mem
+		c.Bus = ex.views[t.ID]
 		ex.Stats.TxCommits++
 		return nil, nil
 	}
@@ -227,7 +249,7 @@ func (ex *Executor) finishTx(t *jrt.Thread, tx *stm.Tx) (*redirect, error) {
 	c.ZF, c.LF = cp.ZF, cp.LF
 	ex.tx[t.ID] = nil
 	ex.txSpare[t.ID] = tx
-	c.Bus = ex.M.Mem
+	c.Bus = ex.views[t.ID]
 	ex.suppressTx[t.ID] = true
 	t.Oldest = false // cleared; scheduler recomputes
 	ex.Stats.TxAborts++
@@ -236,3 +258,12 @@ func (ex *Executor) finishTx(t *jrt.Thread, tx *stm.Tx) (*redirect, error) {
 
 // errStuck reports a wedged parallel region.
 var errStuck = fmt.Errorf("dbm: parallel region made no progress")
+
+// errHostParSyscall / errHostParTx report schedule-ordered work reached
+// inside a host-parallel region — impossible unless the eligibility
+// scan's static view of the loop body was defeated at runtime.
+var (
+	errHostParSyscall = fmt.Errorf("dbm: syscall reached in host-parallel region (eligibility scan defeated)")
+	errHostParTx      = fmt.Errorf("dbm: transaction started in host-parallel region (eligibility scan defeated)")
+	errHostParEscaped = fmt.Errorf("dbm: unscanned block reached in host-parallel region (eligibility scan defeated)")
+)

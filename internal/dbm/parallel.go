@@ -80,7 +80,7 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 	chunks := jrt.PartitionChunked(n, ex.Cfg.Threads)
 	threads := make([]*jrt.Thread, ex.Cfg.Threads)
 	for i := 0; i < ex.Cfg.Threads; i++ {
-		ctx := &vm.Context{ID: i, Bus: ex.M.Mem}
+		ctx := &vm.Context{ID: i, Bus: ex.views[i]}
 		ctx.GPR = main.GPR
 		ctx.GPR[guest.RegTLS] = jrt.TLSFor(i)
 		if i != 0 {
@@ -106,60 +106,30 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 		threads[i] = th
 	}
 
-	// Round-robin execution at basic-block granularity.
+	// Region execution. Both engines produce bit-identical per-thread
+	// virtual clocks and memory images; the host-parallel engine is
+	// chosen only when the static eligibility scan proves the loop body
+	// free of cross-thread interactions the round-robin schedule would
+	// otherwise order (see hostpar.go).
 	ex.loop = lc
 	ex.inParallel = true
 	ex.Stats.ParRegions++
 	defer func() { ex.loop = nil; ex.inParallel = false }()
 
-	active := 0
-	for _, th := range threads {
-		if th.State != jrt.StateDone {
-			th.State = jrt.StateRunning
-			active++
-		}
+	var regionErr error
+	if scanned := ex.hostParEligible(r.LoopID, ld.LoopStart); scanned != nil {
+		ex.Stats.HostParRegions++
+		regionErr = ex.runRegionHostParallel(r.LoopID, threads, lc, scanned)
+	} else {
+		regionErr = ex.runRegionRoundRobin(r.LoopID, threads, lc)
 	}
-	guard := ex.Cfg.MaxSteps
-	for active > 0 {
-		if guard <= 0 {
-			return nil, errStuck
-		}
-		oldest := oldestRunning(threads)
-		progressed := false
-		for _, th := range threads {
-			if th.State != jrt.StateRunning {
-				continue
-			}
-			// An aborted speculative thread waits until it is oldest
-			// before re-executing non-speculatively.
-			if ex.suppressTx[th.ID] && th.ID != oldest {
-				continue
-			}
-			th.Oldest = th.ID == oldest
-			if err := ex.stepBlock(th); err != nil {
-				return nil, fmt.Errorf("dbm: loop %d thread %d: %w", r.LoopID, th.ID, err)
-			}
-			progressed = true
-			guard--
-			if pc := th.Ctx.PC; pc == lc.ExitPrimary || (len(lc.ExitTargets) > 1 && lc.ExitTargets[pc]) {
-				th.State = jrt.StateDone
-				if ex.tx[th.ID] != nil {
-					// A transaction left open across the chunk end:
-					// validate/commit now.
-					if rd, err := ex.finishTx(th, ex.tx[th.ID]); err != nil {
-						return nil, err
-					} else if rd != nil {
-						th.Ctx.PC = rd.pc
-						th.State = jrt.StateRunning
-						continue
-					}
-				}
-				active--
-			}
-		}
-		if !progressed {
-			return nil, errStuck
-		}
+	// Fold thread-local counters in thread-ID order — a deterministic
+	// schedule-independent point, identical for both engines.
+	for _, th := range threads {
+		ex.fold(th)
+	}
+	if regionErr != nil {
+		return nil, regionErr
 	}
 
 	// Virtual time: the region took as long as its slowest thread, plus
@@ -212,6 +182,67 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 	// (the smallest LOOP_FINISH address, fixed at construction time so
 	// the resume point never depends on map iteration order).
 	return &redirect{pc: ex.exitPrimary[r.LoopID]}, nil
+}
+
+// runRegionRoundRobin steps the region's threads round-robin at basic-
+// block granularity on the calling goroutine. This is the fully general
+// engine: the deterministic schedule orders speculative commits (oldest
+// thread first) and serialises syscalls, so every loop can run under
+// it.
+func (ex *Executor) runRegionRoundRobin(loopID int32, threads []*jrt.Thread, lc *jrt.LoopCtx) error {
+	active := 0
+	for _, th := range threads {
+		if th.State != jrt.StateDone {
+			th.State = jrt.StateRunning
+			active++
+		}
+	}
+	guard := ex.Cfg.MaxSteps
+	for active > 0 {
+		oldest := oldestRunning(threads)
+		progressed := false
+		for _, th := range threads {
+			if th.State != jrt.StateRunning {
+				continue
+			}
+			// An aborted speculative thread waits until it is oldest
+			// before re-executing non-speculatively.
+			if ex.suppressTx[th.ID] && th.ID != oldest {
+				continue
+			}
+			// Per-block guard check, the same boundary the host-parallel
+			// engine's shared budget enforces: a runaway region fails
+			// after MaxSteps blocks under either engine.
+			if guard <= 0 {
+				return errStuck
+			}
+			th.Oldest = th.ID == oldest
+			if err := ex.stepBlock(th); err != nil {
+				return fmt.Errorf("dbm: loop %d thread %d: %w", loopID, th.ID, err)
+			}
+			progressed = true
+			guard--
+			if lc.IsExit(th.Ctx.PC) {
+				th.State = jrt.StateDone
+				if ex.tx[th.ID] != nil {
+					// A transaction left open across the chunk end:
+					// validate/commit now.
+					if rd, err := ex.finishTx(th, ex.tx[th.ID]); err != nil {
+						return err
+					} else if rd != nil {
+						th.Ctx.PC = rd.pc
+						th.State = jrt.StateRunning
+						continue
+					}
+				}
+				active--
+			}
+		}
+		if !progressed {
+			return errStuck
+		}
+	}
+	return nil
 }
 
 // boundsCheckPasses evaluates the runtime array-base check: every

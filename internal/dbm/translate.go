@@ -47,6 +47,18 @@ type tblock struct {
 	items []titem
 	// end is the fall-through address after the block.
 	end uint64
+	// hasSyscall marks blocks containing a SYSCALL: the host-parallel
+	// engine refuses to execute them (syscalls are schedule-ordered),
+	// turning any unsoundness in the eligibility scan into a loud
+	// error instead of a data race.
+	hasSyscall bool
+	// scanLoop/scanOK memoise the host-parallel allowlist verdict for
+	// this block (static per loop): scanOK is valid while scanLoop
+	// matches the active loop, so steady-state dispatch skips the
+	// scanned-set map lookup. Blocks are thread-private, so stamping
+	// needs no synchronisation.
+	scanLoop int32
+	scanOK   bool
 	// linkPC/linkBlk form a two-entry inline cache mapping this block's
 	// observed successor addresses to their translated blocks (the
 	// DBM's block linking): a taken/not-taken pair covers a conditional
@@ -82,10 +94,13 @@ func (ex *Executor) blockFor(t *jrt.Thread, addr uint64) (*tblock, error) {
 			return nil, err
 		}
 		cache[addr] = b
-		ex.Stats.TransBlocks++
-		ex.Stats.TransInsts += int64(len(b.items))
+		// Translation stats accumulate on the thread (folded into
+		// ex.Stats at deterministic points) so host-parallel threads
+		// translating concurrently never touch shared counters.
+		t.TransBlocks++
+		t.TransInsts += int64(len(b.items))
 		cost := int64(len(b.items)) * ex.Cfg.Cost.TransPerInst
-		ex.Stats.TransCycles += cost
+		t.TransCycles += cost
 		t.Ctx.Cycles += cost
 	}
 	if prev != nil {
@@ -101,7 +116,7 @@ func (ex *Executor) blockFor(t *jrt.Thread, addr uint64) (*tblock, error) {
 // translate decodes one basic block starting at addr and applies the
 // rewrite rules found in the schedule hash table (figure 2(b)).
 func (ex *Executor) translate(addr uint64) (*tblock, error) {
-	b := &tblock{start: addr}
+	b := &tblock{start: addr, scanLoop: -1}
 	a := addr
 	for len(b.items) < maxBlockLen {
 		in, err := ex.M.FetchInst(a)
@@ -116,6 +131,9 @@ func (ex *Executor) translate(addr uint64) (*tblock, error) {
 		}
 		it := titem{addr: a, inst: in, writesMem: in.WritesMem()}
 		it.touchesMem = it.writesMem || in.ReadsMem()
+		if in.Op == guest.SYSCALL {
+			b.hasSyscall = true
+		}
 		for _, r := range ex.Ix.At(a) {
 			ex.applyRule(&it, r)
 		}

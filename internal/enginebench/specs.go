@@ -3,8 +3,11 @@ package enginebench
 import (
 	"testing"
 
+	"janus/internal/analyzer"
+	"janus/internal/dbm"
 	"janus/internal/stm"
 	"janus/internal/vm"
+	"janus/internal/workloads"
 )
 
 // Spec is one shared micro-benchmark: the same body backs the go-test
@@ -26,6 +29,8 @@ func Specs() []Spec {
 		{"ExecInst", benchExecInst},
 		{"RunNative", benchRunNative},
 		{"STM", benchSTM},
+		{"RegionRoundRobin", benchRegion(false)},
+		{"RegionHostParallel", benchRegion(true)},
 	}
 }
 
@@ -117,6 +122,42 @@ func benchRunNative(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := vm.RunNative(exe); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchRegion measures a full statically-parallelised DBM run of the
+// lbm train workload (dominated by DOALL parallel regions) under the
+// selected region engine, so the snapshot tracks both the round-robin
+// and the host-parallel engines. Simulated results are bit-identical
+// between the two; only host time differs.
+func benchRegion(hostParallel bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		exe, libs, err := workloads.Build("470.lbm", workloads.Train, workloads.O3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := analyzer.Analyze(exe)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog.SelectLoops(analyzer.SelectOptions{})
+		sched, err := prog.GenParallelSchedule()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := dbm.DefaultConfig(8)
+			cfg.HostParallel = hostParallel
+			ex, err := dbm.New(exe, sched, cfg, libs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ex.Run(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -1,0 +1,46 @@
+package harness
+
+// The load-bearing invariant of the host-parallel engine: every figure
+// is computed from virtual cycles, so the rendered janus-bench output
+// must be byte-identical whatever the host concurrency — GOMAXPROCS=1
+// vs all cores, host-parallel vs single-goroutine round-robin.
+
+import (
+	"runtime"
+	"testing"
+)
+
+// renderFigure7 regenerates figure 7 and renders it to text.
+func renderFigure7(t *testing.T, threads int) string {
+	t.Helper()
+	rows, err := Figure7(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RenderFigure7(rows)
+}
+
+func TestFigure7ByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	one := renderFigure7(t, DefaultThreads)
+	runtime.GOMAXPROCS(max(runtime.NumCPU(), 4))
+	many := renderFigure7(t, DefaultThreads)
+	if one != many {
+		t.Errorf("figure 7 output differs across GOMAXPROCS:\n--- GOMAXPROCS=1 ---\n%s\n--- GOMAXPROCS=n ---\n%s", one, many)
+	}
+}
+
+func TestFigure7ByteIdenticalAcrossEngines(t *testing.T) {
+	defer SetHostParallel(true)
+
+	SetHostParallel(true)
+	hp := renderFigure7(t, DefaultThreads)
+	SetHostParallel(false)
+	rr := renderFigure7(t, DefaultThreads)
+	if hp != rr {
+		t.Errorf("figure 7 output differs between engines:\n--- host-parallel ---\n%s\n--- round-robin ---\n%s", hp, rr)
+	}
+}

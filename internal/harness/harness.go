@@ -2,6 +2,11 @@
 // evaluation section over the synthetic workload suite. Each experiment
 // returns structured rows and can render itself as a text table; the
 // janus-bench command and the repository-level benchmarks drive it.
+//
+// Every figure is computed from deterministic virtual cycles, so the
+// rendered output is byte-identical whichever region engine runs the
+// experiments (SetHostParallel) and whatever GOMAXPROCS the host
+// grants; determinism_test.go pins both properties.
 package harness
 
 import (
@@ -9,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"janus"
 	"janus/internal/analyzer"
@@ -20,6 +26,29 @@ import (
 
 // DefaultThreads matches the paper's eight-core evaluation machine.
 const DefaultThreads = 8
+
+// roundRobinOnly selects the region engine for every experiment: unset
+// (the default) runs eligible parallel regions on host goroutines, set
+// forces the single-goroutine round-robin engine. Figure and table
+// outputs are bit-identical either way; only host wall-clock changes
+// (see PERFORMANCE.md). Atomic so a toggle cannot race with
+// experiments running on other goroutines; experiments that have
+// already started keep the engine they read at their call.
+var roundRobinOnly atomic.Bool
+
+// SetHostParallel selects the region engine for subsequent experiments
+// (janus-bench's -host-parallel flag).
+func SetHostParallel(on bool) { roundRobinOnly.Store(!on) }
+
+// hostParallelOn reports the current engine selection.
+func hostParallelOn() bool { return !roundRobinOnly.Load() }
+
+// engineConfig applies the harness-wide engine selection to one run
+// configuration.
+func engineConfig(c janus.Config) janus.Config {
+	c.SingleGoroutine = roundRobinOnly.Load()
+	return c
+}
 
 // buildRef builds the ref-input O3 binary for a benchmark.
 func buildRef(name string) (*obj.Executable, []*obj.Library, error) {
@@ -183,7 +212,7 @@ func figure7Row(name string, threads int) (*Fig7Row, error) {
 		cfg.Threads = threads
 		cfg.Verify = true
 		cfg.TrainExe = trainExe
-		return janus.Parallelise(exe, cfg, libs...)
+		return janus.Parallelise(exe, engineConfig(cfg), libs...)
 	}
 	static, err := run(janus.Config{})
 	if err != nil {
@@ -264,9 +293,9 @@ func Figure8(threads int) ([]Fig8Row, error) {
 			return nil, err
 		}
 		run := func(n int) (*janus.Report, error) {
-			return janus.Parallelise(exe, janus.Config{
+			return janus.Parallelise(exe, engineConfig(janus.Config{
 				Threads: n, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
-			}, libs...)
+			}), libs...)
 		}
 		one, err := run(1)
 		if err != nil {
@@ -342,9 +371,9 @@ func Figure9(maxThreads int) ([]Fig9Row, error) {
 		}
 		row := Fig9Row{Bench: name}
 		for n := 1; n <= maxThreads; n++ {
-			rep, err := janus.Parallelise(exe, janus.Config{
+			rep, err := janus.Parallelise(exe, engineConfig(janus.Config{
 				Threads: n, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
-			}, libs...)
+			}), libs...)
 			if err != nil {
 				return nil, fmt.Errorf("%s@%d: %w", name, n, err)
 			}
@@ -400,9 +429,9 @@ func Figure10() ([]Fig10Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := janus.Parallelise(exe, janus.Config{
+		rep, err := janus.Parallelise(exe, engineConfig(janus.Config{
 			Threads: DefaultThreads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
-		}, libs...)
+		}), libs...)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -469,23 +498,23 @@ func Figure11(threads int) ([]Fig11Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		gccAuto, err := compilers.Parallelise(compilers.GCC, gccExe, threads, libs...)
+		gccAuto, err := compilers.Parallelise(compilers.GCC, gccExe, threads, hostParallelOn(), libs...)
 		if err != nil {
 			return nil, fmt.Errorf("%s gcc: %w", name, err)
 		}
-		iccAuto, err := compilers.Parallelise(compilers.ICC, iccExe, threads, libs...)
+		iccAuto, err := compilers.Parallelise(compilers.ICC, iccExe, threads, hostParallelOn(), libs...)
 		if err != nil {
 			return nil, fmt.Errorf("%s icc: %w", name, err)
 		}
-		jg, err := janus.Parallelise(gccExe, janus.Config{
+		jg, err := janus.Parallelise(gccExe, engineConfig(janus.Config{
 			Threads: threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: gccTrain,
-		}, libs...)
+		}), libs...)
 		if err != nil {
 			return nil, fmt.Errorf("%s janus/gcc: %w", name, err)
 		}
-		ji, err := janus.Parallelise(iccExe, janus.Config{
+		ji, err := janus.Parallelise(iccExe, engineConfig(janus.Config{
 			Threads: threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: iccTrain,
-		}, libs...)
+		}), libs...)
 		if err != nil {
 			return nil, fmt.Errorf("%s janus/icc: %w", name, err)
 		}
@@ -541,9 +570,9 @@ func Figure12(threads int) ([]Fig12Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			rep, err := janus.Parallelise(exe, janus.Config{
+			rep, err := janus.Parallelise(exe, engineConfig(janus.Config{
 				Threads: threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
-			}, libs...)
+			}), libs...)
 			if err != nil {
 				return nil, fmt.Errorf("%s@%s: %w", name, opt, err)
 			}
@@ -601,9 +630,9 @@ func TableI() ([]Tab1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := janus.Parallelise(exe, janus.Config{
+		rep, err := janus.Parallelise(exe, engineConfig(janus.Config{
 			Threads: DefaultThreads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
-		}, libs...)
+		}), libs...)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}

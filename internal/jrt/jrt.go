@@ -5,10 +5,12 @@
 //
 // The paper's runtime keeps a pool of OS threads that wait for
 // THREAD_SCHEDULE and return on THREAD_YIELD. Here threads are
-// deterministic simulated contexts stepped round-robin by the DBM
-// executor; the pool states and scheduling policies are modelled
-// faithfully while execution stays single-goroutine and reproducible
-// (see DESIGN.md for the substitution rationale).
+// deterministic simulated contexts driven by the DBM executor — either
+// stepped round-robin on one goroutine or, for loops whose bodies are
+// provably free of cross-thread interaction, run concurrently on real
+// host goroutines; the pool states and scheduling policies are
+// modelled faithfully and results are reproducible under both engines
+// (see ARCHITECTURE.md for the substitution rationale).
 package jrt
 
 import (
@@ -83,6 +85,18 @@ type Thread struct {
 	// Oldest marks the thread owning the earliest unfinished chunk
 	// (the only thread allowed to commit transactions).
 	Oldest bool
+
+	// Steps counts instructions executed by this thread since the DBM
+	// last folded it into its global step budget. Accumulated
+	// thread-locally so host-parallel threads never contend on (or
+	// race over) a shared counter; the executor drains it at
+	// deterministic points.
+	Steps int64
+	// TransBlocks/TransInsts/TransCycles accumulate this thread's
+	// translation work since the last fold, for the same reason.
+	TransBlocks int64
+	TransInsts  int64
+	TransCycles int64
 }
 
 // Pool is the Janus thread pool.
@@ -207,6 +221,14 @@ type LoopCtx struct {
 type PrivSlot struct {
 	SharedAddr uint64
 	Size       int64
+}
+
+// IsExit reports whether pc terminates a thread's chunk. The primary
+// exit is the single-exit fast path; the map is consulted only for
+// multi-exit loops. Both DBM region engines use this predicate, so the
+// chunk-completion condition cannot diverge between them.
+func (lc *LoopCtx) IsExit(pc uint64) bool {
+	return pc == lc.ExitPrimary || (len(lc.ExitTargets) > 1 && lc.ExitTargets[pc])
 }
 
 // EntryReg reads a loop-entry register value.

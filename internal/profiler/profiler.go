@@ -9,6 +9,11 @@
 // per-loop state lives in index-grown slices rather than maps: the
 // per-instruction recording paths (Step, Record, StepInst) do no map
 // operations.
+//
+// Profilers are not goroutine-safe and never need to be: profiling
+// schedules contain no LOOP_INIT rules, so profiled runs execute on a
+// single goroutine (the DBM's host-parallel engine is additionally
+// disabled whenever profiling is on).
 package profiler
 
 import "janus/internal/wordmap"

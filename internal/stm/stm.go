@@ -11,6 +11,11 @@
 // order (oldest first), and an aborted transaction rolls back to its
 // register checkpoint and re-executes — non-speculatively once the
 // thread is the oldest, which always succeeds.
+//
+// The age-ordered commit schedule is what makes speculation
+// deterministic, so loops containing transactions always run under the
+// DBM's single-goroutine round-robin engine; a Tx is never shared
+// between goroutines.
 package stm
 
 import (

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"janus/internal/guest"
 	"janus/internal/obj"
@@ -30,6 +31,7 @@ type Context struct {
 	Insts int64
 
 	// Bus routes memory accesses; defaults to the machine memory. The
+	// host-parallel runtime substitutes a per-thread MemView, and the
 	// STM substitutes a buffering bus during speculation.
 	Bus Bus
 
@@ -71,6 +73,11 @@ func (c *Context) EffAddr(m guest.Mem) uint64 {
 
 // Machine is a loaded guest program: its memory image, code sources and
 // allocation state. Contexts execute against a machine.
+//
+// All code is decoded eagerly at load time, so FetchInst performs no
+// writes and is safe to call from concurrently executing guest threads
+// (the DBM translates blocks into per-thread code caches while other
+// threads run).
 type Machine struct {
 	Exe  *obj.Executable
 	Libs []*obj.Library
@@ -78,24 +85,32 @@ type Machine struct {
 
 	// exeInsts caches decoded executable instructions by code index
 	// (flat slice, no hashing on the fetch fast path); exeOK marks
-	// valid entries.
+	// valid entries. Both are immutable after NewMachine.
 	exeInsts []guest.Inst
 	exeOK    []bool
-	// decoded caches decoded library instructions by address.
-	decoded map[uint64]guest.Inst
+	// libInsts/libOK cache decoded library instructions per library,
+	// indexed by instruction slot. Immutable after NewMachine.
+	libInsts [][]guest.Inst
+	libOK    [][]bool
 
 	// pltTarget maps a PLT stub address to its resolved library address.
+	// Immutable after NewMachine.
 	pltTarget map[uint64]uint64
 
-	// heapNext is the bump-allocation frontier for SysAlloc.
-	heapNext uint64
+	// heapNext is the bump-allocation frontier for SysAlloc, advanced
+	// atomically. Guest allocation from inside a host-parallel region is
+	// prevented by the DBM's eligibility scan (a SYSCALL in a loop body
+	// forces the round-robin engine), which keeps allocation addresses —
+	// and therefore results — schedule-independent.
+	heapNext atomic.Uint64
 
 	// Output collects values written by SysWrite/SysWriteF in order.
 	Output []uint64
 }
 
-// NewMachine loads exe and libs: copies the data section into memory and
-// resolves PLT stubs against library exports.
+// NewMachine loads exe and libs: copies the data section into memory,
+// resolves PLT stubs against library exports, and pre-decodes all
+// executable and library code.
 func NewMachine(exe *obj.Executable, libs ...*obj.Library) (*Machine, error) {
 	nInst := len(exe.Code) / guest.InstSize
 	m := &Machine{
@@ -104,10 +119,11 @@ func NewMachine(exe *obj.Executable, libs ...*obj.Library) (*Machine, error) {
 		Mem:       NewMemory(),
 		exeInsts:  make([]guest.Inst, nInst),
 		exeOK:     make([]bool, nInst),
-		decoded:   make(map[uint64]guest.Inst),
+		libInsts:  make([][]guest.Inst, len(libs)),
+		libOK:     make([][]bool, len(libs)),
 		pltTarget: make(map[uint64]uint64),
-		heapNext:  obj.DefaultHeapBase,
 	}
+	m.heapNext.Store(obj.DefaultHeapBase)
 	m.Mem.WriteBytes(exe.DataBase, exe.Data)
 	for _, im := range exe.Imports {
 		resolved := false
@@ -122,6 +138,32 @@ func NewMachine(exe *obj.Executable, libs ...*obj.Library) (*Machine, error) {
 			return nil, fmt.Errorf("vm: unresolved import %q", im.Name)
 		}
 	}
+	for idx := 0; idx < nInst; idx++ {
+		addr := exe.CodeBase + uint64(idx)*guest.InstSize
+		in, err := guest.Decode(exe.Code[uint64(idx)*guest.InstSize:])
+		if err != nil {
+			continue // undecodable slot: FetchInst reports the error lazily
+		}
+		if target, ok := m.pltTarget[addr]; ok {
+			// Loader-patched PLT stub.
+			in = guest.NewInstI(guest.JMP, guest.RegNone, int64(target))
+		}
+		m.exeInsts[idx] = in
+		m.exeOK[idx] = true
+	}
+	for li, lib := range libs {
+		n := len(lib.Code) / guest.InstSize
+		m.libInsts[li] = make([]guest.Inst, n)
+		m.libOK[li] = make([]bool, n)
+		for idx := 0; idx < n; idx++ {
+			in, err := guest.Decode(lib.Code[uint64(idx)*guest.InstSize:])
+			if err != nil {
+				continue
+			}
+			m.libInsts[li][idx] = in
+			m.libOK[li][idx] = true
+		}
+	}
 	return m, nil
 }
 
@@ -133,8 +175,10 @@ func (m *Machine) NewContext(id int, stackTop uint64) *Context {
 	return c
 }
 
-// FetchInst decodes the instruction at addr from the executable or a
-// library, resolving PLT stubs to their library targets.
+// FetchInst returns the decoded instruction at addr from the executable
+// or a library, with PLT stubs resolved to their library targets. All
+// decoding happened at load time, so FetchInst mutates nothing and is
+// safe for concurrent use.
 func (m *Machine) FetchInst(addr uint64) (guest.Inst, error) {
 	// Fast path: executable code indexes a flat decode cache. The cache
 	// is sized in whole instructions, so bounding the index also rejects
@@ -146,48 +190,31 @@ func (m *Machine) FetchInst(addr uint64) (guest.Inst, error) {
 			if m.exeOK[idx] {
 				return m.exeInsts[idx], nil
 			}
-			in, err := m.Exe.InstAt(addr)
-			if err != nil {
-				return guest.Inst{}, err
-			}
-			if target, ok := m.pltTarget[addr]; ok {
-				// Loader-patched PLT stub.
-				in = guest.NewInstI(guest.JMP, guest.RegNone, int64(target))
-			}
-			m.exeInsts[idx] = in
-			m.exeOK[idx] = true
-			return in, nil
+			_, err := m.Exe.InstAt(addr) // reproduce the decode error
+			return guest.Inst{}, err
 		}
 	}
-	if in, ok := m.decoded[addr]; ok {
-		return in, nil
-	}
-	var in guest.Inst
-	var err error
-	switch {
-	case m.Exe.InCode(addr):
-		in, err = m.Exe.InstAt(addr)
-		if err == nil {
-			if target, ok := m.pltTarget[addr]; ok {
-				// Loader-patched PLT stub.
-				in = guest.NewInstI(guest.JMP, guest.RegNone, int64(target))
-			}
-		}
-	default:
-		err = fmt.Errorf("vm: fetch from unmapped address %#x", addr)
-		for _, lib := range m.Libs {
-			if lib.InCode(addr) {
-				off := addr - lib.Base
-				in, err = guest.Decode(lib.Code[off:])
-				break
-			}
-		}
-	}
-	if err != nil {
+	if m.Exe.InCode(addr) {
+		// Misaligned or truncated executable address.
+		_, err := m.Exe.InstAt(addr)
 		return guest.Inst{}, err
 	}
-	m.decoded[addr] = in
-	return in, nil
+	for li, lib := range m.Libs {
+		if !lib.InCode(addr) {
+			continue
+		}
+		off := addr - lib.Base
+		if idx := off / guest.InstSize; off%guest.InstSize == 0 && idx < uint64(len(m.libOK[li])) {
+			if m.libOK[li][idx] {
+				return m.libInsts[li][idx], nil
+			}
+			_, err := guest.Decode(lib.Code[off:])
+			return guest.Inst{}, err
+		}
+		// Misaligned library fetch: decode on the fly (pure, uncached).
+		return guest.Decode(lib.Code[off:])
+	}
+	return guest.Inst{}, fmt.Errorf("vm: fetch from unmapped address %#x", addr)
 }
 
 // InLibrary reports whether addr is inside any mapped shared library —
@@ -209,7 +236,6 @@ func (m *Machine) PLTTarget(addr uint64) (uint64, bool) {
 
 // Alloc carves size bytes of zeroed heap, 64-byte aligned.
 func (m *Machine) Alloc(size uint64) uint64 {
-	addr := m.heapNext
-	m.heapNext += (size + 63) &^ 63
-	return addr
+	span := (size + 63) &^ 63
+	return m.heapNext.Add(span) - span
 }

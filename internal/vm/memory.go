@@ -8,11 +8,21 @@
 // (max across threads plus orchestration overheads) to produce the
 // elapsed time of a parallel region. This keeps every experiment
 // deterministic and host-independent.
+//
+// Memory is shared between guest threads, but all thread-private access
+// state (the software TLB and the last-leaf cache) lives in per-thread
+// MemViews, so guest threads scheduled on different host goroutines can
+// access disjoint words concurrently without synchronisation on the hot
+// path. Structural changes (page and leaf allocation) are serialised by
+// a mutex on the miss path, and page-table slots are atomic pointers so
+// lock-free readers never observe a torn update.
 package vm
 
 import (
 	"encoding/binary"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -38,14 +48,25 @@ const (
 const noPage = ^uint64(0)
 
 // page is one 4 KiB block plus its cached digest state. digest and
-// nonzero are valid only while dirty is false; every write path sets
-// dirty and the hash routines refresh lazily.
+// nonzero are valid only while dirty is zero; every write path sets
+// dirty and the hash routines refresh lazily. dirty is accessed
+// atomically because host-parallel guest threads writing disjoint words
+// of the same page mark it dirty concurrently.
 type page struct {
 	data    [pageSize]byte
 	key     uint64 // addr >> pageShift
 	digest  uint64
 	nonzero bool
-	dirty   bool
+	dirty   atomic.Uint32
+}
+
+// markDirty invalidates the cached digest. The common case (page
+// already dirty) is a single atomic load, which on the hot store path
+// costs no more than a plain load on mainstream architectures.
+func (p *page) markDirty() {
+	if p.dirty.Load() == 0 {
+		p.dirty.Store(1)
+	}
 }
 
 // refresh recomputes the digest and nonzero flag in one pass over the
@@ -60,24 +81,37 @@ func (p *page) refresh() {
 	}
 	p.digest = h
 	p.nonzero = nz != 0
-	p.dirty = false
+	p.dirty.Store(0)
 }
 
-// leaf is one directory entry: a flat array of page pointers covering a
-// 4 MiB aligned span.
+// leaf is one directory entry: an array of page slots covering a 4 MiB
+// aligned span. Slots are atomic pointers: they transition nil→page
+// exactly once (under Memory.mu), and lock-free readers on other
+// goroutines must not observe a torn write.
 type leaf struct {
-	pages [1 << leafBits]*page
+	pages [1 << leafBits]atomic.Pointer[page]
 }
 
 // Memory is a sparse, zero-filled, byte-addressable 64-bit space backed
 // by a two-level page table: a directory of 4 MiB leaves (map keyed by
-// high address bits, consulted only on TLB miss) each holding a flat
-// array of 4 KiB pages. A two-entry software TLB caches the most
-// recently touched pages so steady-state access needs no map lookup.
+// high address bits, consulted only on TLB+leaf miss) each holding an
+// array of 4 KiB page slots.
 //
 // All addresses are readable and writable; the simulator does not model
 // protection faults (the paper's transformations never rely on them).
+//
+// Memory's own accessor methods (Read64, WriteBytes, …) go through an
+// embedded default MemView and are not safe for concurrent use; the
+// host-parallel runtime gives each guest thread its own MemView (see
+// NewView), which may be used concurrently with other views as long as
+// the guest threads' written words are disjoint — exactly the
+// disjointness Janus' static analysis and runtime bounds checks
+// guarantee for the loops it parallelises.
 type Memory struct {
+	// mu serialises structural growth: leaf-map inserts, page
+	// allocation, and the all/sorted bookkeeping. The data fast paths
+	// never take it.
+	mu     sync.RWMutex
 	leaves map[uint64]*leaf
 
 	// all lists every allocated page for the hash routines; it is
@@ -85,90 +119,147 @@ type Memory struct {
 	all    []*page
 	sorted bool
 
-	// Software TLB: the last two distinct pages touched, most recent
-	// first. Single-threaded by design (the DBM steps contexts
-	// round-robin on one goroutine), so no synchronisation is needed.
-	tlbKey  [2]uint64
-	tlbPage [2]*page
-
-	// lastLeaf caches the directory entry of the most recent TLB miss,
-	// so misses within the same 4 MiB span skip the map.
-	lastLeafKey uint64
-	lastLeaf    *leaf
+	// view is the default single-threaded access port used by Memory's
+	// own methods.
+	view MemView
 }
 
 // NewMemory returns an empty address space.
 func NewMemory() *Memory {
-	return &Memory{
-		leaves: make(map[uint64]*leaf),
-		tlbKey: [2]uint64{noPage, noPage},
+	m := &Memory{leaves: make(map[uint64]*leaf)}
+	m.view.init(m)
+	return m
+}
+
+// NewView returns a fresh per-thread access port onto m. Distinct views
+// may be used from distinct goroutines concurrently; a single view must
+// not be shared between goroutines.
+func (m *Memory) NewView() *MemView {
+	v := &MemView{}
+	v.init(m)
+	return v
+}
+
+// leafFor returns the directory leaf covering leafKey, allocating it if
+// absent and create is set.
+func (m *Memory) leafFor(leafKey uint64, create bool) *leaf {
+	m.mu.RLock()
+	lf := m.leaves[leafKey]
+	m.mu.RUnlock()
+	if lf != nil || !create {
+		return lf
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lf = m.leaves[leafKey]; lf == nil {
+		lf = new(leaf)
+		m.leaves[leafKey] = lf
+	}
+	return lf
+}
+
+// addPage allocates the page with the given key inside lf, or returns
+// the existing one if another thread won the race.
+func (m *Memory) addPage(lf *leaf, key uint64) *page {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	slot := &lf.pages[key&leafMask]
+	if p := slot.Load(); p != nil {
+		return p
+	}
+	p := &page{key: key}
+	p.dirty.Store(1)
+	m.all = append(m.all, p)
+	m.sorted = false
+	slot.Store(p)
+	return p
+}
+
+// MemView is one thread's access port onto a shared Memory: the
+// thread-private software TLB (the last two distinct pages touched) and
+// the last-leaf cache (the directory entry of the most recent TLB miss,
+// so misses within the same 4 MiB span skip the directory map). Views
+// hold no guest state of their own — dropping or recreating a view
+// never changes simulated results, only host-side locality.
+type MemView struct {
+	mem *Memory
+
+	// Software TLB: the last two distinct pages touched, most recent
+	// first.
+	tlbKey  [2]uint64
+	tlbPage [2]*page
+
+	// lastLeaf caches the directory entry of the most recent TLB miss.
+	lastLeafKey uint64
+	lastLeaf    *leaf
+}
+
+func (v *MemView) init(m *Memory) {
+	v.mem = m
+	v.tlbKey = [2]uint64{noPage, noPage}
+	v.lastLeafKey = noPage
+	v.lastLeaf = nil
+	v.tlbPage = [2]*page{}
 }
 
 // find returns the resident page containing addr, or nil.
-func (m *Memory) find(addr uint64) *page {
+func (v *MemView) find(addr uint64) *page {
 	key := addr >> pageShift
-	if key == m.tlbKey[0] {
-		return m.tlbPage[0]
+	if key == v.tlbKey[0] {
+		return v.tlbPage[0]
 	}
-	if key == m.tlbKey[1] {
-		m.tlbKey[0], m.tlbKey[1] = m.tlbKey[1], m.tlbKey[0]
-		m.tlbPage[0], m.tlbPage[1] = m.tlbPage[1], m.tlbPage[0]
-		return m.tlbPage[0]
+	if key == v.tlbKey[1] {
+		v.tlbKey[0], v.tlbKey[1] = v.tlbKey[1], v.tlbKey[0]
+		v.tlbPage[0], v.tlbPage[1] = v.tlbPage[1], v.tlbPage[0]
+		return v.tlbPage[0]
 	}
-	return m.walk(key, false)
+	return v.walk(key, false)
 }
 
 // ensure returns the page containing addr, allocating it if absent.
-func (m *Memory) ensure(addr uint64) *page {
+func (v *MemView) ensure(addr uint64) *page {
 	key := addr >> pageShift
-	if key == m.tlbKey[0] {
-		return m.tlbPage[0]
+	if key == v.tlbKey[0] {
+		return v.tlbPage[0]
 	}
-	if key == m.tlbKey[1] {
-		m.tlbKey[0], m.tlbKey[1] = m.tlbKey[1], m.tlbKey[0]
-		m.tlbPage[0], m.tlbPage[1] = m.tlbPage[1], m.tlbPage[0]
-		return m.tlbPage[0]
+	if key == v.tlbKey[1] {
+		v.tlbKey[0], v.tlbKey[1] = v.tlbKey[1], v.tlbKey[0]
+		v.tlbPage[0], v.tlbPage[1] = v.tlbPage[1], v.tlbPage[0]
+		return v.tlbPage[0]
 	}
-	return m.walk(key, true)
+	return v.walk(key, true)
 }
 
 // walk is the TLB-miss path: two-level table lookup, optional
 // allocation, and TLB fill. Misses without allocation are not cached,
 // so a later allocation of the same page cannot be shadowed by a stale
 // negative entry.
-func (m *Memory) walk(key uint64, create bool) *page {
-	lf := m.lastLeaf
-	if lf == nil || m.lastLeafKey != key>>leafBits {
-		lf = m.leaves[key>>leafBits]
+func (v *MemView) walk(key uint64, create bool) *page {
+	leafKey := key >> leafBits
+	lf := v.lastLeaf
+	if lf == nil || v.lastLeafKey != leafKey {
+		lf = v.mem.leafFor(leafKey, create)
 		if lf == nil {
-			if !create {
-				return nil
-			}
-			lf = new(leaf)
-			m.leaves[key>>leafBits] = lf
+			return nil
 		}
-		m.lastLeafKey = key >> leafBits
-		m.lastLeaf = lf
+		v.lastLeafKey = leafKey
+		v.lastLeaf = lf
 	}
-	p := lf.pages[key&leafMask]
+	p := lf.pages[key&leafMask].Load()
 	if p == nil {
 		if !create {
 			return nil
 		}
-		p = &page{key: key, dirty: true}
-		lf.pages[key&leafMask] = p
-		m.all = append(m.all, p)
-		m.sorted = false
+		p = v.mem.addPage(lf, key)
 	}
-	m.tlbKey[1], m.tlbPage[1] = m.tlbKey[0], m.tlbPage[0]
-	m.tlbKey[0], m.tlbPage[0] = key, p
+	v.tlbKey[1], v.tlbPage[1] = v.tlbKey[0], v.tlbPage[0]
+	v.tlbKey[0], v.tlbPage[0] = key, p
 	return p
 }
 
 // Load8 returns the byte at addr.
-func (m *Memory) Load8(addr uint64) byte {
-	p := m.find(addr)
+func (v *MemView) Load8(addr uint64) byte {
+	p := v.find(addr)
 	if p == nil {
 		return 0
 	}
@@ -176,77 +267,70 @@ func (m *Memory) Load8(addr uint64) byte {
 }
 
 // Store8 sets the byte at addr.
-func (m *Memory) Store8(addr uint64, v byte) {
-	p := m.ensure(addr)
-	p.dirty = true
-	p.data[addr&pageMask] = v
+func (v *MemView) Store8(addr uint64, b byte) {
+	p := v.ensure(addr)
+	p.markDirty()
+	p.data[addr&pageMask] = b
 }
 
 // Read64 loads a little-endian 64-bit word from addr.
-func (m *Memory) Read64(addr uint64) uint64 {
+func (v *MemView) Read64(addr uint64) uint64 {
 	if off := addr & pageMask; off <= pageSize-8 {
-		if p := m.find(addr); p != nil {
+		if p := v.find(addr); p != nil {
 			return binary.LittleEndian.Uint64(p.data[off : off+8])
 		}
 		return 0
 	}
-	return m.read64Cross(addr)
+	return v.read64Cross(addr)
 }
 
-func (m *Memory) read64Cross(addr uint64) uint64 {
-	var v uint64
+func (v *MemView) read64Cross(addr uint64) uint64 {
+	var x uint64
 	for i := uint64(0); i < 8; i++ {
-		v |= uint64(m.Load8(addr+i)) << (8 * i)
+		x |= uint64(v.Load8(addr+i)) << (8 * i)
 	}
-	return v
+	return x
 }
 
 // Write64 stores a little-endian 64-bit word at addr.
-func (m *Memory) Write64(addr uint64, v uint64) {
+func (v *MemView) Write64(addr uint64, x uint64) {
 	if off := addr & pageMask; off <= pageSize-8 {
-		p := m.ensure(addr)
-		p.dirty = true
-		binary.LittleEndian.PutUint64(p.data[off:off+8], v)
+		p := v.ensure(addr)
+		p.markDirty()
+		binary.LittleEndian.PutUint64(p.data[off:off+8], x)
 		return
 	}
-	m.write64Cross(addr, v)
+	v.write64Cross(addr, x)
 }
 
-func (m *Memory) write64Cross(addr uint64, v uint64) {
+func (v *MemView) write64Cross(addr uint64, x uint64) {
 	for i := uint64(0); i < 8; i++ {
-		m.Store8(addr+i, byte(v>>(8*i)))
+		v.Store8(addr+i, byte(x>>(8*i)))
 	}
 }
 
 // WriteBytes copies b into memory starting at addr, one page span per
 // copy.
-func (m *Memory) WriteBytes(addr uint64, b []byte) {
+func (v *MemView) WriteBytes(addr uint64, b []byte) {
 	for len(b) > 0 {
-		p := m.ensure(addr)
-		p.dirty = true
+		p := v.ensure(addr)
+		p.markDirty()
 		n := copy(p.data[addr&pageMask:], b)
 		b = b[n:]
 		addr += uint64(n)
 	}
 }
 
-// ReadBytes copies n bytes starting at addr.
-func (m *Memory) ReadBytes(addr uint64, n int) []byte {
-	out := make([]byte, n)
-	m.ReadInto(addr, out)
-	return out
-}
-
 // ReadInto fills dst with the bytes starting at addr, one page span per
 // copy, without allocating.
-func (m *Memory) ReadInto(addr uint64, dst []byte) {
+func (v *MemView) ReadInto(addr uint64, dst []byte) {
 	for len(dst) > 0 {
 		off := addr & pageMask
 		span := pageSize - int(off)
 		if span > len(dst) {
 			span = len(dst)
 		}
-		if p := m.find(addr); p != nil {
+		if p := v.find(addr); p != nil {
 			copy(dst[:span], p.data[off:])
 		} else {
 			clear(dst[:span])
@@ -260,7 +344,7 @@ func (m *Memory) ReadInto(addr uint64, dst []byte) {
 // page-span copies, without allocating. Overlapping ranges copy in
 // ascending address order (the runtime's writeback ranges never
 // overlap).
-func (m *Memory) Copy(dst, src uint64, n int) {
+func (v *MemView) Copy(dst, src uint64, n int) {
 	for n > 0 {
 		span := pageSize - int(src&pageMask)
 		if d := pageSize - int(dst&pageMask); d < span {
@@ -269,10 +353,10 @@ func (m *Memory) Copy(dst, src uint64, n int) {
 		if span > n {
 			span = n
 		}
-		dp := m.ensure(dst)
-		dp.dirty = true
+		dp := v.ensure(dst)
+		dp.markDirty()
 		do := dst & pageMask
-		if sp := m.find(src); sp != nil {
+		if sp := v.find(src); sp != nil {
 			copy(dp.data[do:int(do)+span], sp.data[src&pageMask:])
 		} else {
 			clear(dp.data[do : int(do)+span])
@@ -283,11 +367,43 @@ func (m *Memory) Copy(dst, src uint64, n int) {
 	}
 }
 
+// Load8 returns the byte at addr.
+func (m *Memory) Load8(addr uint64) byte { return m.view.Load8(addr) }
+
+// Store8 sets the byte at addr.
+func (m *Memory) Store8(addr uint64, b byte) { m.view.Store8(addr, b) }
+
+// Read64 loads a little-endian 64-bit word from addr.
+func (m *Memory) Read64(addr uint64) uint64 { return m.view.Read64(addr) }
+
+// Write64 stores a little-endian 64-bit word at addr.
+func (m *Memory) Write64(addr uint64, x uint64) { m.view.Write64(addr, x) }
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) { m.view.WriteBytes(addr, b) }
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	m.view.ReadInto(addr, out)
+	return out
+}
+
+// ReadInto fills dst with the bytes starting at addr without
+// allocating.
+func (m *Memory) ReadInto(addr uint64, dst []byte) { m.view.ReadInto(addr, dst) }
+
+// Copy moves n bytes from src to dst inside the address space.
+func (m *Memory) Copy(dst, src uint64, n int) { m.view.Copy(dst, src, n) }
+
 // Hash returns a digest over all resident pages, used to compare final
 // memory images between native and parallelised executions. Zero pages
 // that were never touched do not contribute, and pages that contain only
 // zeroes hash identically to absent pages. Per-page digests are cached
 // and only pages written since the last call are re-hashed.
+//
+// Hash must not run concurrently with guest writes; the runtime only
+// hashes between regions, when a single goroutine owns the memory.
 func (m *Memory) Hash() uint64 {
 	return m.hashBelow(^uint64(0))
 }
@@ -300,16 +416,19 @@ func (m *Memory) HashBelow(limit uint64) uint64 {
 }
 
 func (m *Memory) hashBelow(limit uint64) uint64 {
+	m.mu.Lock()
 	if !m.sorted {
 		sort.Slice(m.all, func(i, j int) bool { return m.all[i].key < m.all[j].key })
 		m.sorted = true
 	}
+	all := m.all
+	m.mu.Unlock()
 	h := uint64(fnvOffset)
-	for _, p := range m.all {
+	for _, p := range all {
 		if p.key<<pageShift >= limit {
 			break
 		}
-		if p.dirty {
+		if p.dirty.Load() != 0 {
 			p.refresh()
 		}
 		if !p.nonzero {
@@ -322,14 +441,21 @@ func (m *Memory) hashBelow(limit uint64) uint64 {
 }
 
 // Pages returns the number of resident pages (diagnostics only).
-func (m *Memory) Pages() int { return len(m.all) }
+func (m *Memory) Pages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.all)
+}
 
 // Bus is the memory interface instructions execute against. The plain
-// machine memory implements it; the STM wraps it with buffering during
-// speculative execution.
+// machine memory and per-thread MemViews implement it; the STM wraps it
+// with buffering during speculative execution.
 type Bus interface {
 	Read64(addr uint64) uint64
 	Write64(addr uint64, v uint64)
 }
 
-var _ Bus = (*Memory)(nil)
+var (
+	_ Bus = (*Memory)(nil)
+	_ Bus = (*MemView)(nil)
+)

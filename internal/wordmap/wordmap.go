@@ -3,6 +3,10 @@
 // and the dependence profiler. It replaces map[uint64]V on
 // per-instruction fast paths: no runtime map machinery, and the backing
 // arrays are reusable across transactions/invocations via Reset.
+//
+// Tables are not goroutine-safe; both users are confined to the DBM's
+// single-goroutine execution paths (speculative loops and profiled
+// runs never use the host-parallel engine).
 package wordmap
 
 // minCap is the initial table size; must be a power of two.

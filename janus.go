@@ -49,6 +49,12 @@ type Config struct {
 	// training inputs used for the profiling stage (the paper profiles
 	// with train inputs and evaluates with ref inputs).
 	TrainExe *obj.Executable
+	// SingleGoroutine forces the deterministic round-robin engine for
+	// every parallel region instead of running eligible regions on host
+	// goroutines. The two engines produce bit-identical simulated
+	// results (virtual cycles, figures, memory hashes); this knob only
+	// trades host wall-clock, for debugging and engine A/B runs.
+	SingleGoroutine bool
 	// Verify compares the DBM run's outputs and memory against native
 	// execution and fails on mismatch (default true via Parallelise).
 	Verify bool
@@ -131,6 +137,7 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 	}
 
 	dcfg := dbm.DefaultConfig(cfg.Threads)
+	dcfg.HostParallel = !cfg.SingleGoroutine
 	if cfg.Cost != nil {
 		dcfg.Cost = *cfg.Cost
 	}
