@@ -22,7 +22,7 @@ import (
 
 func BenchmarkFigure6_LoopCoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure6()
+		rows, err := harness.Figure6(harness.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -36,7 +36,7 @@ func BenchmarkFigure6_LoopCoverage(b *testing.B) {
 
 func BenchmarkFigure7_Speedup8T(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure7(8)
+		rows, err := harness.Figure7(harness.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,7 +50,7 @@ func BenchmarkFigure7_Speedup8T(b *testing.B) {
 
 func BenchmarkFigure8_Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure8(8)
+		rows, err := harness.Figure8(harness.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func BenchmarkFigure8_Breakdown(b *testing.B) {
 
 func BenchmarkFigure9_ThreadScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure9(8)
+		rows, err := harness.Figure9(harness.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +79,7 @@ func BenchmarkFigure9_ThreadScaling(b *testing.B) {
 
 func BenchmarkFigure10_ScheduleSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure10()
+		rows, err := harness.Figure10(harness.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func BenchmarkFigure10_ScheduleSize(b *testing.B) {
 
 func BenchmarkFigure11_CompilerComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure11(8)
+		rows, err := harness.Figure11(harness.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +109,7 @@ func BenchmarkFigure11_CompilerComparison(b *testing.B) {
 
 func BenchmarkFigure12_OptLevels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Figure12(8)
+		rows, err := harness.Figure12(harness.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func BenchmarkFigure12_OptLevels(b *testing.B) {
 
 func BenchmarkTableI_BoundsChecks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.TableI()
+		rows, err := harness.TableI(harness.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -54,14 +54,17 @@ func engineBenchmarks() ([]engineBench, error) {
 }
 
 // writeEngineSnapshot runs the engine micro-benchmarks plus one harness
-// figure and writes the JSON snapshot to path.
-func writeEngineSnapshot(path string) error {
+// figure and writes the JSON snapshot to path. The figure-7 timing runs
+// with Jobs=1 so the wall-clock stays comparable across snapshots
+// regardless of the host's core count.
+func writeEngineSnapshot(path string, opts harness.Options) error {
 	benches, err := engineBenchmarks()
 	if err != nil {
 		return err
 	}
+	opts.Jobs = 1
 	start := time.Now()
-	if _, err := harness.Figure7(harness.DefaultThreads); err != nil {
+	if _, err := harness.Figure7(opts); err != nil {
 		return err
 	}
 	fig7 := time.Since(start).Seconds()

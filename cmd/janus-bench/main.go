@@ -4,8 +4,14 @@
 //	janus-bench                          all experiments
 //	janus-bench -fig 7                   one figure (6..12)
 //	janus-bench -table 1                 one table (1 or 2)
+//	janus-bench -jobs 4                  run up to 4 benchmark rows
+//	                                     concurrently (output is
+//	                                     byte-identical at any value)
 //	janus-bench -host-parallel=false     force the single-goroutine region
 //	                                     engine (outputs are byte-identical)
+//	janus-bench -steal=false             force static equal chunking instead
+//	                                     of the work-stealing partitioner
+//	                                     (outputs are byte-identical)
 //	janus-bench -engine-json BENCH_engine.json
 //	                                     execution-engine perf snapshot
 package main
@@ -19,67 +25,31 @@ import (
 )
 
 func main() {
+	def := harness.DefaultOptions()
 	fig := flag.Int("fig", 0, "regenerate one figure (6..12); 0 = all")
 	table := flag.Int("table", 0, "regenerate one table (1 or 2); 0 = all")
-	threads := flag.Int("threads", harness.DefaultThreads, "thread count")
-	hostParallel := flag.Bool("host-parallel", true, "run eligible parallel regions on host goroutines; false forces the single-goroutine round-robin engine (figure/table outputs are bit-identical either way)")
+	threads := flag.Int("threads", def.Threads, "guest thread count")
+	jobs := flag.Int("jobs", def.Jobs, "how many benchmark rows run concurrently across the suite (figure/table outputs are byte-identical at any value)")
+	hostParallel := flag.Bool("host-parallel", !def.SingleGoroutine, "run eligible parallel regions on host goroutines; false forces the single-goroutine round-robin engine (figure/table outputs are bit-identical either way)")
+	steal := flag.Bool("steal", !def.StaticPartition, "balance host-parallel regions with the work-stealing partitioner; false forces static equal chunking (figure/table outputs are bit-identical either way)")
 	engineJSON := flag.String("engine-json", "", "run the execution-engine micro-benchmarks and write a JSON perf snapshot to this path")
 	flag.Parse()
 
-	harness.SetHostParallel(*hostParallel)
+	opts := harness.Options{
+		Threads:         *threads,
+		Jobs:            *jobs,
+		SingleGoroutine: !*hostParallel,
+		StaticPartition: !*steal,
+	}
 
 	if *engineJSON != "" {
-		exitOn(writeEngineSnapshot(*engineJSON))
+		exitOn(writeEngineSnapshot(*engineJSON, opts))
 		return
 	}
 
-	runAll := *fig == 0 && *table == 0
-	run := func(n int) bool { return runAll || *fig == n }
-	runT := func(n int) bool { return runAll || *table == n }
-
-	if run(6) {
-		rows, err := harness.Figure6()
-		exitOn(err)
-		fmt.Println(harness.RenderFigure6(rows))
-	}
-	if run(7) {
-		rows, err := harness.Figure7(*threads)
-		exitOn(err)
-		fmt.Println(harness.RenderFigure7(rows))
-	}
-	if run(8) {
-		rows, err := harness.Figure8(*threads)
-		exitOn(err)
-		fmt.Println(harness.RenderFigure8(rows))
-	}
-	if run(9) {
-		rows, err := harness.Figure9(*threads)
-		exitOn(err)
-		fmt.Println(harness.RenderFigure9(rows))
-	}
-	if run(10) {
-		rows, err := harness.Figure10()
-		exitOn(err)
-		fmt.Println(harness.RenderFigure10(rows))
-	}
-	if run(11) {
-		rows, err := harness.Figure11(*threads)
-		exitOn(err)
-		fmt.Println(harness.RenderFigure11(rows))
-	}
-	if run(12) {
-		rows, err := harness.Figure12(*threads)
-		exitOn(err)
-		fmt.Println(harness.RenderFigure12(rows))
-	}
-	if runT(1) {
-		rows, err := harness.TableI()
-		exitOn(err)
-		fmt.Println(harness.RenderTableI(rows))
-	}
-	if runT(2) {
-		fmt.Println(harness.TableII())
-	}
+	out, err := harness.RenderAll(opts, *fig, *table)
+	exitOn(err)
+	fmt.Print(out)
 }
 
 func exitOn(err error) {

@@ -63,12 +63,21 @@ type Result struct {
 	LoopsParallelised int
 }
 
+// Engine selects the DBM region execution for the modelled compiler's
+// simulated run. Results are bit-identical under every setting;
+// callers thread their engine choice through so a single-goroutine or
+// static-partition A/B run really is one end to end.
+type Engine struct {
+	// HostParallel runs eligible parallel regions on host goroutines.
+	HostParallel bool
+	// WorkStealing uses the work-stealing partitioner inside
+	// host-parallel regions.
+	WorkStealing bool
+}
+
 // Parallelise runs the modelled compiler over exe with the given thread
-// count and returns the achieved speedup. hostParallel selects the DBM
-// region engine (results are bit-identical either way; callers thread
-// through their engine choice so a single-goroutine A/B run really is
-// single-goroutine end to end).
-func Parallelise(kind Kind, exe *obj.Executable, threads int, hostParallel bool, libs ...*obj.Library) (*Result, error) {
+// count and returns the achieved speedup.
+func Parallelise(kind Kind, exe *obj.Executable, threads int, eng Engine, libs ...*obj.Library) (*Result, error) {
 	prog, err := analyzer.Analyze(exe)
 	if err != nil {
 		return nil, err
@@ -107,7 +116,8 @@ func Parallelise(kind Kind, exe *obj.Executable, threads int, hostParallel bool,
 	cfg := dbm.Config{
 		Threads:          threads,
 		Parallel:         true,
-		HostParallel:     hostParallel,
+		HostParallel:     eng.HostParallel,
+		WorkStealing:     eng.WorkStealing,
 		MinIterPerThread: 4,
 		MaxSteps:         vm.DefaultMaxSteps,
 		Cost:             staticCost(),

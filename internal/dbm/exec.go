@@ -39,6 +39,9 @@ func (ex *Executor) stepBlock(t *jrt.Thread) error {
 			}
 			return errHostParEscaped
 		}
+		if ex.stealActive {
+			ex.chargeStealOwner(t, b)
+		}
 	}
 	ex.lastBlk[t.ID] = b
 	t.Ctx.Cycles += ex.Cfg.Cost.Dispatch

@@ -17,7 +17,9 @@ import (
 )
 
 // runEngine executes one workload under a statically-parallelised DBM
-// with the given engine selection.
+// with the given engine selection. Work stealing is pinned off: these
+// tests compare the two static-chunk engines (steal_test.go covers the
+// work-stealing partitioner).
 func runEngine(t *testing.T, name string, hostParallel bool) *dbm.Result {
 	t.Helper()
 	exe, libs, err := workloads.Build(name, workloads.Train, workloads.O3)
@@ -35,6 +37,7 @@ func runEngine(t *testing.T, name string, hostParallel bool) *dbm.Result {
 	}
 	cfg := dbm.DefaultConfig(8)
 	cfg.HostParallel = hostParallel
+	cfg.WorkStealing = false
 	ex, err := dbm.New(exe, sched, cfg, libs...)
 	if err != nil {
 		t.Fatal(err)
@@ -46,10 +49,11 @@ func runEngine(t *testing.T, name string, hostParallel bool) *dbm.Result {
 	return res
 }
 
-// sansEngineStats clears the only stat that legitimately differs
+// sansEngineStats clears the only stats that legitimately differ
 // between the engines: which of them ran the regions.
 func sansEngineStats(s dbm.Stats) dbm.Stats {
 	s.HostParRegions = 0
+	s.StealRegions = 0
 	return s
 }
 

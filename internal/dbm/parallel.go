@@ -119,7 +119,12 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 	var regionErr error
 	if scanned := ex.hostParEligible(r.LoopID, ld.LoopStart); scanned != nil {
 		ex.Stats.HostParRegions++
-		regionErr = ex.runRegionHostParallel(r.LoopID, threads, lc, scanned)
+		if ex.stealEligible(r.LoopID, ld) {
+			ex.Stats.StealRegions++
+			regionErr = ex.runRegionStealing(r.LoopID, threads, lc, ld, ubd, entry, n, scanned)
+		} else {
+			regionErr = ex.runRegionHostParallel(r.LoopID, threads, lc, scanned)
+		}
 	} else {
 		regionErr = ex.runRegionRoundRobin(r.LoopID, threads, lc)
 	}

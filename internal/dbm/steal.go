@@ -1,0 +1,399 @@
+package dbm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"janus/internal/guest"
+	"janus/internal/jrt"
+	"janus/internal/rules"
+	"janus/internal/vm"
+)
+
+// Work-stealing region execution.
+//
+// Static equal chunking (jrt.PartitionChunked) hands every guest
+// thread the same number of iterations, but iterations need not cost
+// the same: a data-dependent branch or a library call can make one
+// chunk several times more expensive than its siblings, and with one
+// host goroutine per guest thread the cheap workers idle while the
+// expensive one finishes. This engine subdivides each static chunk
+// into up to jrt.StealFactor pieces and lets idle workers steal
+// pieces from a shared set of per-worker deques.
+//
+// The determinism contract is the same as hostpar.go's, and stronger:
+// simulated results must be bit-identical to the *static* partitioner
+// (and hence to the round-robin engine) at any GOMAXPROCS. Work
+// stealing respects it because every subchunk's outcome is a pure
+// function of its iteration range:
+//
+//   - Registers: a subchunk's context starts from the loop-entry
+//     snapshot with its induction set to the subchunk base — exactly
+//     how a static chunk starts, just at a finer grain. Flags and
+//     live-outs come from the final iteration, which lives in the
+//     owner's last subchunk whichever worker runs it.
+//   - Cycles: dispatch and instruction costs are additive over
+//     iterations, so summing a chunk's pieces equals running it
+//     whole. Translation is charged once per (owner thread, block)
+//     through the executor's charged sets (chargeStealOwner) — the
+//     identical total a static run charges when the owner first
+//     translates the block — no matter which worker, or how many,
+//     actually translated it into their private steal caches.
+//   - Reductions: subchunk partials are merged in ascending iteration
+//     order. Integer ADD is associative, so the merged value matches
+//     the static chunk's sequentially accumulated partial bit for bit;
+//     loops with floating-point reductions are not steal-eligible
+//     (stealEligible) because reassociation would perturb them.
+//   - Memory: eligibility (hostParEligible) already proves iterations
+//     write disjoint words, so shared memory ends identical. Worker
+//     stacks and TLS scratch above vm.DataHashLimit do depend on which
+//     worker ran which subchunk; they are invisible to DataHash (the
+//     verification contract) and to every figure, but they make the
+//     full-image MemHash schedule-dependent — the one simulated field
+//     work stealing does not pin.
+//
+// The folded result is written back into the per-owner thread
+// structures, so LOOP_FINISH (reduction merge, live-outs, privatised
+// copy-back) runs the same code as the static engines.
+
+// stealEligible reports whether an eligible host-parallel region may
+// also use the work-stealing partitioner under the current
+// configuration.
+func (ex *Executor) stealEligible(loopID int32, ld rules.LoopInitData) bool {
+	// Threads beyond 64 would overflow the per-block chargeMask.
+	if !ex.Cfg.WorkStealing || ex.Cfg.Threads > 64 {
+		return false
+	}
+	// The interior-piece discard accounting in runStealWorker is exact
+	// only for top-tested, single-exit loops: the exit test must sit at
+	// the loop head so the discarded failing check is the same block
+	// the next piece re-executes (and charges, if ever) on entry, and
+	// the only way out of a piece must be that patched bound. Any other
+	// shape keeps static chunks.
+	if ex.boundData[loopID].CmpAddr != ld.LoopStart || len(ex.exitTargets[loopID]) != 1 {
+		return false
+	}
+	for _, red := range ld.Reductions {
+		if red.Op != guest.ADD {
+			return false
+		}
+	}
+	return true
+}
+
+// chargeStealOwner charges block b's translation cost to the guest
+// thread owning t's current subchunk, the first time any worker
+// executes it for that owner. The owner's charged set accumulates
+// exactly the blocks a static-chunk run of the same region sequence
+// would have translated into the owner's cache, so the folded
+// translation counters — and hence virtual cycles — are bit-identical
+// to the static partitioner whichever worker reaches a block first.
+func (ex *Executor) chargeStealOwner(t *jrt.Thread, b *tblock) {
+	bit := uint64(1) << uint(t.Owner)
+	if b.chargeMask&bit != 0 {
+		return
+	}
+	ex.stealMu.Lock()
+	set := ex.charged[t.Owner]
+	if !set[b.start] {
+		set[b.start] = true
+		t.TransBlocks++
+		t.TransInsts += int64(len(b.items))
+		cost := int64(len(b.items)) * ex.Cfg.Cost.TransPerInst
+		t.TransCycles += cost
+		t.Ctx.Cycles += cost
+	}
+	ex.stealMu.Unlock()
+	b.chargeMask |= bit
+}
+
+// stealDeques is the shared work pool: one deque of subchunk indices
+// per worker, seeded with the worker's own static chunk's pieces.
+// Workers take their own work front-to-back (ascending iterations,
+// best locality) and steal from victims back-to-front.
+type stealDeques struct {
+	mu     sync.Mutex
+	queues [][]int
+}
+
+func newStealDeques(workers int, chunks []jrt.StealChunk) *stealDeques {
+	d := &stealDeques{queues: make([][]int, workers)}
+	for i, sc := range chunks {
+		d.queues[sc.Owner] = append(d.queues[sc.Owner], i)
+	}
+	return d
+}
+
+// next returns the next subchunk index for worker w: its own front, or
+// a steal from the back of the first non-empty victim scanning
+// round-robin from w+1. ok=false means no work remains anywhere.
+func (d *stealDeques) next(w int) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if q := d.queues[w]; len(q) > 0 {
+		idx := q[0]
+		d.queues[w] = q[1:]
+		return idx, true
+	}
+	n := len(d.queues)
+	for off := 1; off < n; off++ {
+		v := (w + off) % n
+		if q := d.queues[v]; len(q) > 0 {
+			idx := q[len(q)-1]
+			d.queues[v] = q[:len(q)-1]
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// stealResult is one subchunk's folded outcome, written once by the
+// worker that executed it.
+type stealResult struct {
+	cycles, insts, steps              int64
+	transBlocks, transInsts, transCyc int64
+	// red[j] is the partial for ld.Reductions[j], accumulated from the
+	// reduction identity over this subchunk's iterations.
+	red []uint64
+}
+
+// runRegionStealing executes the region over work-stealing subchunks
+// and folds the results back into the per-owner threads so the shared
+// LOOP_FINISH path (parallel.go) sees exactly what the static
+// partitioner would have produced.
+func (ex *Executor) runRegionStealing(loopID int32, threads []*jrt.Thread, lc *jrt.LoopCtx, ld rules.LoopInitData, ubd rules.UpdateBoundData, entry func(guest.Reg) uint64, n int64, scanned map[uint64]bool) error {
+	chunks := jrt.PartitionStealing(n, ex.Cfg.Threads, jrt.StealFactor)
+	if len(chunks) == 0 {
+		return nil
+	}
+	// Deterministic per-subchunk parameters, evaluated on the main
+	// thread so workers never touch the main context.
+	bounds := make([]uint64, len(chunks))
+	for i, sc := range chunks {
+		bv, err := jrt.PatchedBound(ubd, entry, sc.Hi)
+		if err != nil {
+			return err
+		}
+		bounds[i] = bv
+	}
+	ivInit := make([]int64, len(ld.Inductions))
+	for j, iv := range ld.Inductions {
+		ivInit[j] = iv.Init.Eval(entry, 0)
+	}
+	// ownerLast[o] is the index of owner o's final subchunk (-1 if the
+	// owner's chunk is empty); the last entry overall holds the loop's
+	// final iteration.
+	ownerLast := make([]int, len(threads))
+	for o := range ownerLast {
+		ownerLast[o] = -1
+	}
+	for i, sc := range chunks {
+		ownerLast[sc.Owner] = i
+	}
+	// isLast[i] marks owner-final subchunks: the only pieces whose
+	// failing exit check a static chunk also executes. Interior pieces
+	// discard theirs (see runStealWorker).
+	isLast := make([]bool, len(chunks))
+	for o, i := range ownerLast {
+		if i >= 0 && chunks[i].Owner == o {
+			isLast[i] = true
+		}
+	}
+	final := len(chunks) - 1
+
+	results := make([]stealResult, len(chunks))
+	// ends[o] snapshots the ending registers and flags of owner o's
+	// final subchunk (single writer: whichever worker runs it).
+	type ownerEnd struct {
+		gpr    [guest.NumGPR + 1]uint64
+		zf, lf bool
+	}
+	ends := make([]ownerEnd, len(threads))
+	// privEnd[slot] snapshots the privatised cells as written by the
+	// loop's final iteration, read from the executing worker's TLS the
+	// moment the final subchunk completes.
+	privEnd := make(map[int32][]byte, len(lc.PrivSlots))
+
+	var budget atomic.Int64
+	budget.Store(ex.Cfg.MaxSteps)
+	var failed atomic.Bool
+	errs := make([]error, len(threads))
+
+	// Block linking must not leak between the sequential/static caches
+	// and the steal caches: clear the anchors on both sides of the
+	// region (link caches only skip map lookups, so this has no
+	// virtual-cycle effect).
+	clearLinks := func() {
+		for i := range ex.lastBlk {
+			ex.lastBlk[i] = nil
+		}
+	}
+	clearLinks()
+	ex.hostParActive = true
+	ex.hostParSet = scanned
+	ex.stealActive = true
+	defer func() {
+		ex.stealActive = false
+		ex.hostParActive = false
+		ex.hostParSet = nil
+		clearLinks()
+	}()
+
+	deques := newStealDeques(ex.Cfg.Threads, chunks)
+	var wg sync.WaitGroup
+	for w := 0; w < ex.Cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = ex.runStealWorker(w, loopID, lc, ld, chunks, bounds, ivInit, isLast, deques, results, &budget, &failed, func(idx int, th *jrt.Thread) {
+				sc := chunks[idx]
+				if idx == ownerLast[sc.Owner] {
+					e := &ends[sc.Owner]
+					e.gpr = th.Ctx.GPR
+					e.zf, e.lf = th.Ctx.ZF, th.Ctx.LF
+				}
+				if idx == final {
+					for slot, ps := range lc.PrivSlots {
+						buf := make([]byte, ps.Size)
+						ex.M.Mem.ReadInto(jrt.PrivAddr(w, slot), buf)
+						privEnd[slot] = buf
+					}
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Fold subchunk results into the per-owner threads in deterministic
+	// ascending-iteration order.
+	acc := make([][]uint64, len(threads))
+	for o := range acc {
+		acc[o] = make([]uint64, len(ld.Reductions))
+		for j, red := range ld.Reductions {
+			acc[o][j] = jrt.ReductionIdentity(red.Op)
+		}
+	}
+	for i := range chunks {
+		o := chunks[i].Owner
+		th := threads[o]
+		rec := &results[i]
+		th.Ctx.Cycles += rec.cycles
+		th.Ctx.Insts += rec.insts
+		th.Steps += rec.steps
+		th.TransBlocks += rec.transBlocks
+		th.TransInsts += rec.transInsts
+		th.TransCycles += rec.transCyc
+		for j, red := range ld.Reductions {
+			acc[o][j] = jrt.MergeReduction(red.Op, acc[o][j], rec.red[j])
+		}
+	}
+	for o, th := range threads {
+		if ownerLast[o] < 0 {
+			continue // empty chunk: keep the as-initialised context
+		}
+		th.Ctx.GPR = ends[o].gpr
+		th.Ctx.ZF, th.Ctx.LF = ends[o].zf, ends[o].lf
+		for j, red := range ld.Reductions {
+			th.Ctx.SetReg(red.Reg, acc[o][j])
+		}
+		th.State = jrt.StateDone
+	}
+	// Re-home the final iteration's privatised cells to the owning
+	// thread's TLS so the shared copy-back in LOOP_FINISH (which reads
+	// lastNonEmpty's slots) sees the deterministic values.
+	if len(privEnd) > 0 {
+		last := lastNonEmpty(threads)
+		for slot, buf := range privEnd {
+			ex.M.Mem.WriteBytes(jrt.PrivAddr(last.ID, slot), buf)
+		}
+	}
+	return nil
+}
+
+// runStealWorker drives worker w: take or steal subchunks until the
+// pool drains, running each from the loop head to its patched-bound
+// exit on a context that is re-initialised from the loop-entry
+// snapshot per subchunk.
+func (ex *Executor) runStealWorker(w int, loopID int32, lc *jrt.LoopCtx, ld rules.LoopInitData, chunks []jrt.StealChunk, bounds []uint64, ivInit []int64, isLast []bool, deques *stealDeques, results []stealResult, budget *atomic.Int64, failed *atomic.Bool, done func(idx int, th *jrt.Thread)) error {
+	ctx := &vm.Context{ID: w, Bus: ex.views[w]}
+	th := &jrt.Thread{ID: w, Ctx: ctx, State: jrt.StateRunning}
+	for {
+		if failed.Load() {
+			return nil
+		}
+		idx, ok := deques.next(w)
+		if !ok {
+			return nil
+		}
+		sc := chunks[idx]
+		th.Owner = sc.Owner
+		ctx.GPR = lc.EntryRegs
+		ctx.GPR[guest.RegTLS] = jrt.TLSFor(w)
+		if w != 0 {
+			ctx.SetReg(guest.SP, jrt.StackTopFor(w))
+		}
+		for j, iv := range ld.Inductions {
+			ctx.SetReg(iv.Reg, uint64(ivInit[j]+iv.Step*sc.Lo))
+		}
+		for _, red := range ld.Reductions {
+			ctx.SetReg(red.Reg, jrt.ReductionIdentity(red.Op))
+		}
+		ctx.VReg = [guest.NumVReg][guest.VLEN]float64{}
+		ctx.ZF, ctx.LF = false, false
+		ctx.PC = ld.LoopStart
+		ctx.Cycles, ctx.Insts = 0, 0
+		lc.BoundValue[w] = bounds[idx]
+
+		for {
+			if failed.Load() {
+				return nil
+			}
+			if budget.Add(-1) < 0 {
+				if failed.Load() {
+					return nil // a failing sibling may have drained the budget
+				}
+				failed.Store(true)
+				return errStuck
+			}
+			preCycles, preInsts, preSteps := ctx.Cycles, ctx.Insts, th.Steps
+			if err := ex.stepBlock(th); err != nil {
+				failed.Store(true)
+				return fmt.Errorf("dbm: loop %d worker %d: %w", loopID, w, err)
+			}
+			if lc.IsExit(ctx.PC) {
+				if !isLast[idx] {
+					// Interior piece: its failing exit check is an artefact
+					// of the subdivision — a static chunk flows straight
+					// from this iteration into the next piece's first,
+					// executing the head check once (which the next piece
+					// re-executes as its entry check). Discard the extra
+					// execution — and refund its budget charge — so folded
+					// costs and the runaway threshold match static
+					// chunking exactly. The discarded block is the loop
+					// head (stealEligible pins the shape), which this
+					// piece already executed at entry, so no translation
+					// charge can hide in the discarded delta.
+					ctx.Cycles, ctx.Insts, th.Steps = preCycles, preInsts, preSteps
+					budget.Add(1)
+				}
+				break
+			}
+		}
+		rec := &results[idx]
+		rec.cycles, rec.insts = ctx.Cycles, ctx.Insts
+		rec.steps = th.Steps
+		rec.transBlocks, rec.transInsts, rec.transCyc = th.TransBlocks, th.TransInsts, th.TransCycles
+		th.Steps, th.TransBlocks, th.TransInsts, th.TransCycles = 0, 0, 0, 0
+		rec.red = make([]uint64, len(ld.Reductions))
+		for j, red := range ld.Reductions {
+			rec.red[j] = ctx.Reg(red.Reg)
+		}
+		done(idx, th)
+	}
+}

@@ -1,0 +1,133 @@
+package guest
+
+// Fuzz tests pinning the decoder contract the rest of the system leans
+// on: Decode must never panic whatever bytes it is handed (the static
+// analyser feeds it raw, possibly-data bytes to detect embedded data),
+// and the fixed-width encoding must round-trip — these are the
+// properties that keep a rewrite schedule and its binary in agreement.
+//
+// CI runs each fuzz target as a short smoke
+// (`go test -fuzz=FuzzX -fuzztime=10s`); locally the seed corpus runs
+// as part of the ordinary test suite.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the decoder: it must return a
+// value or an error, never panic, and anything it accepts must
+// re-encode into bytes it decodes to the same instruction
+// (normalisation is idempotent).
+func FuzzDecode(f *testing.F) {
+	// Seed with structure: valid instructions, truncated buffers, an
+	// undefined opcode, junk in the reserved bytes.
+	for _, in := range []Inst{
+		NewInst(ADD, R1, R2),
+		NewInstI(MOVI, R3, -1),
+		NewInstM(LD, R4, Mem{Base: R8, Index: R1, Scale: 8, Disp: 0x6000}),
+		NewInstM(ST, R5, Mem{Base: RegNone, Index: RegNone, Scale: 1, Disp: -8}),
+	} {
+		b := Encode(in)
+		f.Add(b[:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01})
+	f.Add(bytes.Repeat([]byte{0xff}, InstSize))
+	junk := Encode(NewInst(ADD, R0, R0))
+	junk[6], junk[7] = 0xaa, 0x55 // reserved bytes
+	f.Add(junk[:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if len(data) < InstSize {
+			t.Fatalf("decoded a %d-byte buffer (need %d)", len(data), InstSize)
+		}
+		if !in.Op.Valid() {
+			t.Fatalf("decoder accepted undefined opcode %#x", byte(in.Op))
+		}
+		if in.M.Scale == 0 {
+			t.Fatalf("decoder produced unnormalised zero scale: %+v", in)
+		}
+		// Decode → Encode → Decode must be a fixed point.
+		re := Encode(in)
+		again, err := Decode(re[:])
+		if err != nil {
+			t.Fatalf("re-encoded instruction does not decode: %v (%+v)", err, in)
+		}
+		if again != in {
+			t.Fatalf("decode/encode not a fixed point:\nfirst  %+v\nsecond %+v", in, again)
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip builds instructions from arbitrary field values:
+// every valid-opcode instruction must survive Encode→Decode with only
+// the documented normalisation (zero scale becomes 1), and every
+// invalid opcode must be rejected.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint8(2), uint8(3), uint8(4), uint8(8), int64(64), int64(-1))
+	f.Add(uint8(0xff), uint8(0), uint8(0), uint8(0xff), uint8(0xff), uint8(0), int64(0), int64(0))
+	f.Add(uint8(31), uint8(16), uint8(15), uint8(7), uint8(1), uint8(1), int64(1)<<62, int64(-1)<<62)
+
+	f.Fuzz(func(t *testing.T, op, rd, rs, base, index, scale uint8, disp, imm int64) {
+		in := Inst{
+			Op: Op(op), Rd: Reg(rd), Rs: Reg(rs), Imm: imm,
+			M: Mem{Base: Reg(base), Index: Reg(index), Scale: scale, Disp: disp},
+		}
+		b := Encode(in)
+		got, err := Decode(b[:])
+		if !Op(op).Valid() {
+			if err == nil {
+				t.Fatalf("undefined opcode %#x decoded as %+v", op, got)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid instruction failed to decode: %v (%+v)", err, in)
+		}
+		want := in
+		if want.M.Scale == 0 {
+			want.M.Scale = 1
+		}
+		if got != want {
+			t.Fatalf("round trip mismatch:\n sent %+v\n got  %+v", want, got)
+		}
+	})
+}
+
+// FuzzDecodeAll checks the whole-image decoder: arbitrary images never
+// panic, and accepted images re-encode byte-identically after
+// normalisation.
+func FuzzDecodeAll(f *testing.F) {
+	img := EncodeAll([]Inst{NewInst(ADD, R1, R2), NewInstI(JMP, RegNone, 0x400000)})
+	f.Add(img)
+	f.Add(img[:InstSize-1])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		insts, err := DecodeAll(data)
+		if err != nil {
+			return
+		}
+		if len(data)%InstSize != 0 {
+			t.Fatalf("decoded a ragged image of %d bytes", len(data))
+		}
+		re := EncodeAll(insts)
+		if len(re) != len(data) {
+			t.Fatalf("re-encoded image is %d bytes, input was %d", len(re), len(data))
+		}
+		again, err := DecodeAll(re)
+		if err != nil {
+			t.Fatalf("re-encoded image does not decode: %v", err)
+		}
+		for i := range insts {
+			if again[i] != insts[i] {
+				t.Fatalf("instruction %d not a fixed point: %+v vs %+v", i, insts[i], again[i])
+			}
+		}
+	})
+}

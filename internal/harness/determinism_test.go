@@ -1,19 +1,30 @@
 package harness
 
-// The load-bearing invariant of the host-parallel engine: every figure
-// is computed from virtual cycles, so the rendered janus-bench output
-// must be byte-identical whatever the host concurrency — GOMAXPROCS=1
-// vs all cores, host-parallel vs single-goroutine round-robin.
+// The load-bearing invariant of the concurrent harness: every figure
+// is computed from virtual cycles and folded back in a fixed order, so
+// the rendered janus-bench output must be byte-identical whatever the
+// host concurrency — GOMAXPROCS=1 vs all cores, row scheduling at any
+// -jobs bound, host-parallel vs single-goroutine round-robin regions,
+// and work-stealing vs static partitioning. golden_test.go pins the
+// whole suite against the committed fixture; these tests pin one
+// figure across the engine axes for a fast, focused signal.
 
 import (
 	"runtime"
 	"testing"
 )
 
-// renderFigure7 regenerates figure 7 and renders it to text.
-func renderFigure7(t *testing.T, threads int) string {
+// renderFigure7 regenerates figure 7 and renders it to text. The
+// byte-comparison pairs below are skipped under -short (each renders
+// the figure twice); the -race CI job runs -short and still exercises
+// the concurrent machinery through TestGoldenOutput and the dbm engine
+// tests.
+func renderFigure7(t *testing.T, o Options) string {
 	t.Helper()
-	rows, err := Figure7(threads)
+	if testing.Short() {
+		t.Skip("renders figure 7 twice; run without -short")
+	}
+	rows, err := Figure7(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,22 +36,38 @@ func TestFigure7ByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
 	defer runtime.GOMAXPROCS(prev)
 
 	runtime.GOMAXPROCS(1)
-	one := renderFigure7(t, DefaultThreads)
+	one := renderFigure7(t, DefaultOptions())
 	runtime.GOMAXPROCS(max(runtime.NumCPU(), 4))
-	many := renderFigure7(t, DefaultThreads)
+	many := renderFigure7(t, DefaultOptions())
 	if one != many {
 		t.Errorf("figure 7 output differs across GOMAXPROCS:\n--- GOMAXPROCS=1 ---\n%s\n--- GOMAXPROCS=n ---\n%s", one, many)
 	}
 }
 
 func TestFigure7ByteIdenticalAcrossEngines(t *testing.T) {
-	defer SetHostParallel(true)
+	hp := DefaultOptions()
+	rr := DefaultOptions()
+	rr.SingleGoroutine = true
+	if got, want := renderFigure7(t, rr), renderFigure7(t, hp); got != want {
+		t.Errorf("figure 7 output differs between engines:\n--- host-parallel ---\n%s\n--- round-robin ---\n%s", want, got)
+	}
+}
 
-	SetHostParallel(true)
-	hp := renderFigure7(t, DefaultThreads)
-	SetHostParallel(false)
-	rr := renderFigure7(t, DefaultThreads)
-	if hp != rr {
-		t.Errorf("figure 7 output differs between engines:\n--- host-parallel ---\n%s\n--- round-robin ---\n%s", hp, rr)
+func TestFigure7ByteIdenticalAcrossPartitioners(t *testing.T) {
+	steal := DefaultOptions()
+	static := DefaultOptions()
+	static.StaticPartition = true
+	if got, want := renderFigure7(t, static), renderFigure7(t, steal); got != want {
+		t.Errorf("figure 7 output differs between partitioners:\n--- stealing ---\n%s\n--- static ---\n%s", want, got)
+	}
+}
+
+func TestFigure7ByteIdenticalAcrossJobs(t *testing.T) {
+	seq := DefaultOptions()
+	seq.Jobs = 1
+	par := DefaultOptions()
+	par.Jobs = max(runtime.NumCPU(), 4)
+	if got, want := renderFigure7(t, par), renderFigure7(t, seq); got != want {
+		t.Errorf("figure 7 output differs across -jobs:\n--- jobs=1 ---\n%s\n--- jobs=n ---\n%s", want, got)
 	}
 }

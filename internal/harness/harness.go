@@ -3,18 +3,21 @@
 // returns structured rows and can render itself as a text table; the
 // janus-bench command and the repository-level benchmarks drive it.
 //
-// Every figure is computed from deterministic virtual cycles, so the
-// rendered output is byte-identical whichever region engine runs the
-// experiments (SetHostParallel) and whatever GOMAXPROCS the host
-// grants; determinism_test.go pins both properties.
+// Experiments and their benchmark rows are schedulable units run on a
+// bounded worker pool (see scheduler.go and RenderAll). Every figure
+// is computed from deterministic virtual cycles and folded back in a
+// fixed order, so the rendered output is byte-identical whatever the
+// Options engine selection (host-parallel or round-robin regions,
+// work-stealing or static partitioning), the Jobs bound, and the host
+// GOMAXPROCS; determinism_test.go and golden_test.go pin all of it.
 package harness
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
-	"sync/atomic"
 
 	"janus"
 	"janus/internal/analyzer"
@@ -27,27 +30,61 @@ import (
 // DefaultThreads matches the paper's eight-core evaluation machine.
 const DefaultThreads = 8
 
-// roundRobinOnly selects the region engine for every experiment: unset
-// (the default) runs eligible parallel regions on host goroutines, set
-// forces the single-goroutine round-robin engine. Figure and table
-// outputs are bit-identical either way; only host wall-clock changes
-// (see PERFORMANCE.md). Atomic so a toggle cannot race with
-// experiments running on other goroutines; experiments that have
-// already started keep the engine they read at their call.
-var roundRobinOnly atomic.Bool
+// Options is one harness run's configuration. Experiments receive it
+// per call — nothing is process-global — so concurrent experiments
+// with different options cannot leak engine selection into each other.
+// The engine switches follow janus.Config's convention: the zero value
+// selects the default engines (host-parallel regions, work-stealing
+// partitioner), so a hand-built Options never silently downgrades to
+// the slow paths.
+type Options struct {
+	// Threads is the guest thread count experiments measure at
+	// (figures 8/9 additionally sweep below it).
+	Threads int
+	// Jobs bounds how many benchmark rows run concurrently across the
+	// whole suite (janus-bench's -jobs flag; 1 = fully sequential).
+	// Rendered output is byte-identical at any value.
+	Jobs int
+	// SingleGoroutine forces the single-goroutine round-robin region
+	// engine instead of running eligible regions on host goroutines
+	// (janus-bench -host-parallel=false).
+	SingleGoroutine bool
+	// StaticPartition forces static equal chunking inside
+	// host-parallel regions instead of the work-stealing partitioner
+	// (janus-bench -steal=false).
+	StaticPartition bool
+}
 
-// SetHostParallel selects the region engine for subsequent experiments
-// (janus-bench's -host-parallel flag).
-func SetHostParallel(on bool) { roundRobinOnly.Store(!on) }
+// DefaultOptions is the janus-bench default configuration.
+func DefaultOptions() Options {
+	return Options{
+		Threads: DefaultThreads,
+		Jobs:    runtime.GOMAXPROCS(0),
+	}
+}
 
-// hostParallelOn reports the current engine selection.
-func hostParallelOn() bool { return !roundRobinOnly.Load() }
+// normalized fills unset fields with their defaults.
+func (o Options) normalized() Options {
+	if o.Threads <= 0 {
+		o.Threads = DefaultThreads
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 1
+	}
+	return o
+}
 
-// engineConfig applies the harness-wide engine selection to one run
+// engineConfig applies the run's engine selection to one Janus
 // configuration.
-func engineConfig(c janus.Config) janus.Config {
-	c.SingleGoroutine = roundRobinOnly.Load()
+func (o Options) engineConfig(c janus.Config) janus.Config {
+	c.SingleGoroutine = o.SingleGoroutine
+	c.StaticPartition = o.StaticPartition
 	return c
+}
+
+// compilerEngine is the same selection for the modelled compilers.
+func (o Options) compilerEngine() compilers.Engine {
+	return compilers.Engine{HostParallel: !o.SingleGoroutine, WorkStealing: !o.StaticPartition}
 }
 
 // buildRef builds the ref-input O3 binary for a benchmark.
@@ -100,50 +137,68 @@ type Fig6Row struct {
 
 // Figure6 classifies every loop of every benchmark and profiles
 // execution-time fractions with training inputs.
-func Figure6() ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, name := range workloads.Names() {
-		exe, libs, err := buildTrain(name)
-		if err != nil {
-			return nil, err
-		}
-		prog, err := analyzer.Analyze(exe)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
-		}
-		pr, err := janus.RunProfiling(exe, prog, libs...)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
-		}
-		prog.ApplyExclCoverage(pr.ExclCoverage)
-		prog.ApplyDependences(pr.Dependences)
+func Figure6(o Options) ([]Fig6Row, error) {
+	o = o.normalized()
+	return figure6(o, newScheduler(o.Jobs))
+}
 
-		row := Fig6Row{Bench: name}
-		n := float64(len(prog.Loops))
-		for _, li := range prog.Loops {
-			sf := 1.0 / n
-			df := li.ExclCoverage
-			switch li.Class {
-			case analyzer.ClassStaticDOALL:
-				row.Static.StaticDOALL += sf
-				row.Dynamic.StaticDOALL += df
-			case analyzer.ClassDynDOALL:
-				row.Static.DynDOALL += sf
-				row.Dynamic.DynDOALL += df
-			case analyzer.ClassStaticDep:
-				row.Static.StaticDep += sf
-				row.Dynamic.StaticDep += df
-			case analyzer.ClassDynDep:
-				row.Static.DynDep += sf
-				row.Dynamic.DynDep += df
-			default:
-				row.Static.Incompat += sf
-				row.Dynamic.Incompat += df
-			}
+func figure6(o Options, s *scheduler) ([]Fig6Row, error) {
+	names := workloads.Names()
+	rows := make([]Fig6Row, len(names))
+	err := s.forEach(len(names), func(i int) error {
+		row, err := figure6Row(names[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
 		}
-		rows = append(rows, row)
+		rows[i] = *row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+func figure6Row(name string) (*Fig6Row, error) {
+	exe, libs, err := buildTrain(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := analyzer.Analyze(exe)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := janus.RunProfiling(exe, prog, libs...)
+	if err != nil {
+		return nil, err
+	}
+	prog.ApplyExclCoverage(pr.ExclCoverage)
+	prog.ApplyDependences(pr.Dependences)
+
+	row := Fig6Row{Bench: name}
+	n := float64(len(prog.Loops))
+	for _, li := range prog.Loops {
+		sf := 1.0 / n
+		df := li.ExclCoverage
+		switch li.Class {
+		case analyzer.ClassStaticDOALL:
+			row.Static.StaticDOALL += sf
+			row.Dynamic.StaticDOALL += df
+		case analyzer.ClassDynDOALL:
+			row.Static.DynDOALL += sf
+			row.Dynamic.DynDOALL += df
+		case analyzer.ClassStaticDep:
+			row.Static.StaticDep += sf
+			row.Dynamic.StaticDep += df
+		case analyzer.ClassDynDep:
+			row.Static.DynDep += sf
+			row.Dynamic.DynDep += df
+		default:
+			row.Static.Incompat += sf
+			row.Dynamic.Incompat += df
+		}
+	}
+	return &row, nil
 }
 
 // RenderFigure6 formats the rows as the two stacked-bar tables.
@@ -179,19 +234,29 @@ type Fig7Row struct {
 
 // Figure7 measures the four configurations on the nine parallelisable
 // benchmarks.
-func Figure7(threads int) ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, name := range workloads.ParallelisableNames() {
-		row, err := figure7Row(name, threads)
+func Figure7(o Options) ([]Fig7Row, error) {
+	o = o.normalized()
+	return figure7(o, newScheduler(o.Jobs))
+}
+
+func figure7(o Options, s *scheduler) ([]Fig7Row, error) {
+	names := workloads.ParallelisableNames()
+	rows := make([]Fig7Row, len(names))
+	err := s.forEach(len(names), func(i int) error {
+		row, err := figure7Row(names[i], o)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", names[i], err)
 		}
-		rows = append(rows, *row)
+		rows[i] = *row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-func figure7Row(name string, threads int) (*Fig7Row, error) {
+func figure7Row(name string, o Options) (*Fig7Row, error) {
 	exe, libs, err := buildRef(name)
 	if err != nil {
 		return nil, err
@@ -209,10 +274,10 @@ func figure7Row(name string, threads int) (*Fig7Row, error) {
 		return nil, err
 	}
 	run := func(cfg janus.Config) (*janus.Report, error) {
-		cfg.Threads = threads
+		cfg.Threads = o.Threads
 		cfg.Verify = true
 		cfg.TrainExe = trainExe
-		return janus.Parallelise(exe, engineConfig(cfg), libs...)
+		return janus.Parallelise(exe, o.engineConfig(cfg), libs...)
 	}
 	static, err := run(janus.Config{})
 	if err != nil {
@@ -280,38 +345,49 @@ type Fig8Row struct {
 	Threads int
 }
 
-// Figure8 measures breakdowns for 1 and `threads` threads.
-func Figure8(threads int) ([]Fig8Row, error) {
-	var rows []Fig8Row
-	for _, name := range workloads.ParallelisableNames() {
+// Figure8 measures breakdowns for 1 and Options.Threads threads.
+func Figure8(o Options) ([]Fig8Row, error) {
+	o = o.normalized()
+	return figure8(o, newScheduler(o.Jobs))
+}
+
+func figure8(o Options, s *scheduler) ([]Fig8Row, error) {
+	names := workloads.ParallelisableNames()
+	rows := make([]Fig8Row, len(names))
+	err := s.forEach(len(names), func(i int) error {
+		name := names[i]
 		exe, libs, err := buildRef(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trainExe, _, err := buildTrain(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run := func(n int) (*janus.Report, error) {
-			return janus.Parallelise(exe, engineConfig(janus.Config{
+			return janus.Parallelise(exe, o.engineConfig(janus.Config{
 				Threads: n, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
 			}), libs...)
 		}
 		one, err := run(1)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		nt, err := run(threads)
+		nt, err := run(o.Threads)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		base := float64(one.DBM.Cycles)
-		rows = append(rows, Fig8Row{
+		rows[i] = Fig8Row{
 			Bench:   name,
 			One:     breakdownOf(one.DBM, base),
 			N:       breakdownOf(nt.DBM, base),
-			Threads: threads,
-		})
+			Threads: o.Threads,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -357,29 +433,40 @@ type Fig9Row struct {
 	Speedups []float64 // index 0 = 1 thread
 }
 
-// Figure9 sweeps thread counts 1..max.
-func Figure9(maxThreads int) ([]Fig9Row, error) {
-	var rows []Fig9Row
-	for _, name := range workloads.ParallelisableNames() {
+// Figure9 sweeps thread counts 1..Options.Threads.
+func Figure9(o Options) ([]Fig9Row, error) {
+	o = o.normalized()
+	return figure9(o, newScheduler(o.Jobs))
+}
+
+func figure9(o Options, s *scheduler) ([]Fig9Row, error) {
+	names := workloads.ParallelisableNames()
+	rows := make([]Fig9Row, len(names))
+	err := s.forEach(len(names), func(i int) error {
+		name := names[i]
 		exe, libs, err := buildRef(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trainExe, _, err := buildTrain(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig9Row{Bench: name}
-		for n := 1; n <= maxThreads; n++ {
-			rep, err := janus.Parallelise(exe, engineConfig(janus.Config{
+		for n := 1; n <= o.Threads; n++ {
+			rep, err := janus.Parallelise(exe, o.engineConfig(janus.Config{
 				Threads: n, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
 			}), libs...)
 			if err != nil {
-				return nil, fmt.Errorf("%s@%d: %w", name, n, err)
+				return fmt.Errorf("%s@%d: %w", name, n, err)
 			}
 			row.Speedups = append(row.Speedups, rep.Speedup())
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -418,22 +505,29 @@ type Fig10Row struct {
 
 // Figure10 generates the full-Janus schedule for each benchmark and
 // compares its serialised size with the binary image size.
-func Figure10() ([]Fig10Row, error) {
-	var rows []Fig10Row
-	for _, name := range workloads.ParallelisableNames() {
+func Figure10(o Options) ([]Fig10Row, error) {
+	o = o.normalized()
+	return figure10(o, newScheduler(o.Jobs))
+}
+
+func figure10(o Options, s *scheduler) ([]Fig10Row, error) {
+	names := workloads.ParallelisableNames()
+	rows := make([]Fig10Row, len(names))
+	err := s.forEach(len(names), func(i int) error {
+		name := names[i]
 		exe, libs, err := buildRef(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trainExe, _, err := buildTrain(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep, err := janus.Parallelise(exe, engineConfig(janus.Config{
-			Threads: DefaultThreads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
+		rep, err := janus.Parallelise(exe, o.engineConfig(janus.Config{
+			Threads: o.Threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
 		}), libs...)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		size := rep.Schedule.Size()
 		// Normalise against the code section: the paper's SPEC binaries
@@ -441,12 +535,16 @@ func Figure10() ([]Fig10Row, error) {
 		// binaries embed them in .data, which would deflate the ratio
 		// meaninglessly.
 		codeSize := len(exe.Code)
-		rows = append(rows, Fig10Row{
+		rows[i] = Fig10Row{
 			Bench:        name,
 			ScheduleSize: size,
 			BinarySize:   codeSize,
 			Fraction:     float64(size) / float64(codeSize),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -479,52 +577,63 @@ type Fig11Row struct {
 }
 
 // Figure11 runs both compilers and Janus on both binary flavours.
-func Figure11(threads int) ([]Fig11Row, error) {
-	var rows []Fig11Row
-	for _, name := range workloads.ParallelisableNames() {
+func Figure11(o Options) ([]Fig11Row, error) {
+	o = o.normalized()
+	return figure11(o, newScheduler(o.Jobs))
+}
+
+func figure11(o Options, s *scheduler) ([]Fig11Row, error) {
+	names := workloads.ParallelisableNames()
+	rows := make([]Fig11Row, len(names))
+	err := s.forEach(len(names), func(i int) error {
+		name := names[i]
 		gccExe, libs, err := workloads.Build(name, workloads.Ref, workloads.O3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		iccExe, _, err := workloads.Build(name, workloads.Ref, workloads.O3AVX)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gccTrain, _, err := workloads.Build(name, workloads.Train, workloads.O3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		iccTrain, _, err := workloads.Build(name, workloads.Train, workloads.O3AVX)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		gccAuto, err := compilers.Parallelise(compilers.GCC, gccExe, threads, hostParallelOn(), libs...)
+		gccAuto, err := compilers.Parallelise(compilers.GCC, gccExe, o.Threads, o.compilerEngine(), libs...)
 		if err != nil {
-			return nil, fmt.Errorf("%s gcc: %w", name, err)
+			return fmt.Errorf("%s gcc: %w", name, err)
 		}
-		iccAuto, err := compilers.Parallelise(compilers.ICC, iccExe, threads, hostParallelOn(), libs...)
+		iccAuto, err := compilers.Parallelise(compilers.ICC, iccExe, o.Threads, o.compilerEngine(), libs...)
 		if err != nil {
-			return nil, fmt.Errorf("%s icc: %w", name, err)
+			return fmt.Errorf("%s icc: %w", name, err)
 		}
-		jg, err := janus.Parallelise(gccExe, engineConfig(janus.Config{
-			Threads: threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: gccTrain,
+		jg, err := janus.Parallelise(gccExe, o.engineConfig(janus.Config{
+			Threads: o.Threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: gccTrain,
 		}), libs...)
 		if err != nil {
-			return nil, fmt.Errorf("%s janus/gcc: %w", name, err)
+			return fmt.Errorf("%s janus/gcc: %w", name, err)
 		}
-		ji, err := janus.Parallelise(iccExe, engineConfig(janus.Config{
-			Threads: threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: iccTrain,
+		ji, err := janus.Parallelise(iccExe, o.engineConfig(janus.Config{
+			Threads: o.Threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: iccTrain,
 		}), libs...)
 		if err != nil {
-			return nil, fmt.Errorf("%s janus/icc: %w", name, err)
+			return fmt.Errorf("%s janus/icc: %w", name, err)
 		}
-		rows = append(rows, Fig11Row{
+		rows[i] = Fig11Row{
 			Bench:    name,
 			GccAuto:  gccAuto.Speedup,
 			JanusGcc: jg.Speedup(),
 			IccAuto:  iccAuto.Speedup,
 			JanusIcc: ji.Speedup(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -557,24 +666,31 @@ type Fig12Row struct {
 }
 
 // Figure12 runs Janus on all three optimisation-level builds.
-func Figure12(threads int) ([]Fig12Row, error) {
-	var rows []Fig12Row
-	for _, name := range workloads.ParallelisableNames() {
+func Figure12(o Options) ([]Fig12Row, error) {
+	o = o.normalized()
+	return figure12(o, newScheduler(o.Jobs))
+}
+
+func figure12(o Options, s *scheduler) ([]Fig12Row, error) {
+	names := workloads.ParallelisableNames()
+	rows := make([]Fig12Row, len(names))
+	err := s.forEach(len(names), func(i int) error {
+		name := names[i]
 		row := Fig12Row{Bench: name}
 		for _, opt := range []workloads.OptLevel{workloads.O2, workloads.O3, workloads.O3AVX} {
 			exe, libs, err := workloads.Build(name, workloads.Ref, opt)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			trainExe, _, err := workloads.Build(name, workloads.Train, opt)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rep, err := janus.Parallelise(exe, engineConfig(janus.Config{
-				Threads: threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
+			rep, err := janus.Parallelise(exe, o.engineConfig(janus.Config{
+				Threads: o.Threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
 			}), libs...)
 			if err != nil {
-				return nil, fmt.Errorf("%s@%s: %w", name, opt, err)
+				return fmt.Errorf("%s@%s: %w", name, opt, err)
 			}
 			switch opt {
 			case workloads.O2:
@@ -585,7 +701,11 @@ func Figure12(threads int) ([]Fig12Row, error) {
 				row.AVX = rep.Speedup()
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -619,22 +739,29 @@ type Tab1Row struct {
 }
 
 // TableI inspects the generated schedules.
-func TableI() ([]Tab1Row, error) {
-	var rows []Tab1Row
-	for _, name := range workloads.ParallelisableNames() {
+func TableI(o Options) ([]Tab1Row, error) {
+	o = o.normalized()
+	return tableI(o, newScheduler(o.Jobs))
+}
+
+func tableI(o Options, s *scheduler) ([]Tab1Row, error) {
+	names := workloads.ParallelisableNames()
+	slots := make([]*Tab1Row, len(names))
+	err := s.forEach(len(names), func(i int) error {
+		name := names[i]
 		exe, libs, err := buildRef(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trainExe, _, err := buildTrain(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep, err := janus.Parallelise(exe, engineConfig(janus.Config{
-			Threads: DefaultThreads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
+		rep, err := janus.Parallelise(exe, o.engineConfig(janus.Config{
+			Threads: o.Threads, UseProfile: true, UseChecks: true, Verify: false, TrainExe: trainExe,
 		}), libs...)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		loops := 0
 		ranges := 0
@@ -645,15 +772,25 @@ func TableI() ([]Tab1Row, error) {
 			}
 		}
 		if loops == 0 {
-			continue // benchmarks without checks are absent from Table I
+			return nil // benchmarks without checks are absent from Table I
 		}
 		bm, _ := workloads.ByName(name)
-		rows = append(rows, Tab1Row{
+		slots[i] = &Tab1Row{
 			Bench:     name,
 			AvgRanges: float64(ranges) / float64(loops),
 			Loops:     loops,
 			PaperRef:  bm.PaperChecks,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Tab1Row
+	for _, r := range slots {
+		if r != nil {
+			rows = append(rows, *r)
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Bench < rows[j].Bench })
 	return rows, nil

@@ -5,8 +5,17 @@ import (
 	"testing"
 )
 
+// seqOptions is the shape tests' configuration: default engines, a
+// modest concurrent row budget (the shapes are Jobs-independent; the
+// golden tests pin byte-identity across Jobs values explicitly).
+func seqOptions() Options {
+	o := DefaultOptions()
+	o.Jobs = 2
+	return o
+}
+
 func TestFigure6ShapeHolds(t *testing.T) {
-	rows, err := Figure6()
+	rows, err := Figure6(seqOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +58,7 @@ func TestFigure6ShapeHolds(t *testing.T) {
 }
 
 func TestFigure7ShapeHolds(t *testing.T) {
-	rows, err := Figure7(8)
+	rows, err := Figure7(seqOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +115,7 @@ func TestFigure7ShapeHolds(t *testing.T) {
 }
 
 func TestFigure9Monotonicity(t *testing.T) {
-	rows, err := Figure9(8)
+	rows, err := Figure9(seqOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +140,7 @@ func TestFigure9Monotonicity(t *testing.T) {
 }
 
 func TestFigure10SmallSchedules(t *testing.T) {
-	rows, err := Figure10()
+	rows, err := Figure10(seqOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +161,7 @@ func TestFigure10SmallSchedules(t *testing.T) {
 }
 
 func TestFigure11CompilerComparison(t *testing.T) {
-	rows, err := Figure11(8)
+	rows, err := Figure11(seqOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +186,7 @@ func TestFigure11CompilerComparison(t *testing.T) {
 }
 
 func TestFigure12OptLevels(t *testing.T) {
-	rows, err := Figure12(8)
+	rows, err := Figure12(seqOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +205,7 @@ func TestFigure12OptLevels(t *testing.T) {
 }
 
 func TestTableIShape(t *testing.T) {
-	rows, err := TableI()
+	rows, err := TableI(seqOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

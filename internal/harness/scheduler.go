@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment scheduler: every figure/table experiment, and every
+// benchmark row inside an experiment, is a schedulable unit. Rows from
+// all experiments share one bounded worker pool, and every result is
+// written into an index-addressed slot, so completion order never
+// affects rendered output — the suite is byte-identical at any Jobs
+// value and any GOMAXPROCS. The shared state the units touch is
+// concurrency-clean by construction: engine selection is per-run
+// configuration (Options), workload builds are cached per (name,
+// input, opt), and the baseline memos in package janus have
+// singleflight semantics, so concurrent rows share one native run and
+// one train profile per binary instead of duplicating them.
+
+// scheduler bounds row-level concurrency across the whole suite.
+type scheduler struct {
+	slots chan struct{}
+	// failed is set by the first erroring row so rows not yet started
+	// — across every experiment sharing the pool — are abandoned: any
+	// error discards the whole render, so their work would be wasted.
+	// Which rows got to run before noticing the flag (and hence which
+	// error is reported) can depend on host scheduling; whether the
+	// render fails never does.
+	failed atomic.Bool
+}
+
+// newScheduler returns a scheduler running at most jobs rows at once.
+func newScheduler(jobs int) *scheduler {
+	if jobs < 1 {
+		jobs = 1
+	}
+	return &scheduler{slots: make(chan struct{}, jobs)}
+}
+
+// forEach runs f(0..n-1) on the bounded pool and returns the
+// lowest-index error. Each call acquires one slot; experiments fan
+// their rows out through this, so nested units never hold a slot while
+// waiting on children.
+func (s *scheduler) forEach(n int, f func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.slots <- struct{}{}
+			defer func() { <-s.slots }()
+			if s.failed.Load() {
+				return
+			}
+			if err := f(i); err != nil {
+				s.failed.Store(true)
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

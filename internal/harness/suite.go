@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Experiment is one schedulable evaluation artefact: a figure or table
+// the suite can regenerate and render.
+type Experiment struct {
+	// Name is the artefact selector ("fig6".."fig12", "tab1", "tab2").
+	Name   string
+	render func(o Options, s *scheduler) (string, error)
+}
+
+// experiments lists the whole suite in print order.
+func experiments() []Experiment {
+	return []Experiment{
+		{"fig6", func(o Options, s *scheduler) (string, error) {
+			rows, err := figure6(o, s)
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure6(rows), nil
+		}},
+		{"fig7", func(o Options, s *scheduler) (string, error) {
+			rows, err := figure7(o, s)
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure7(rows), nil
+		}},
+		{"fig8", func(o Options, s *scheduler) (string, error) {
+			rows, err := figure8(o, s)
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure8(rows), nil
+		}},
+		{"fig9", func(o Options, s *scheduler) (string, error) {
+			rows, err := figure9(o, s)
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure9(rows), nil
+		}},
+		{"fig10", func(o Options, s *scheduler) (string, error) {
+			rows, err := figure10(o, s)
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure10(rows), nil
+		}},
+		{"fig11", func(o Options, s *scheduler) (string, error) {
+			rows, err := figure11(o, s)
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure11(rows), nil
+		}},
+		{"fig12", func(o Options, s *scheduler) (string, error) {
+			rows, err := figure12(o, s)
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure12(rows), nil
+		}},
+		{"tab1", func(o Options, s *scheduler) (string, error) {
+			rows, err := tableI(o, s)
+			if err != nil {
+				return "", err
+			}
+			return RenderTableI(rows), nil
+		}},
+		{"tab2", func(o Options, s *scheduler) (string, error) {
+			return TableII(), nil
+		}},
+	}
+}
+
+// RenderAll regenerates the selected experiments — fig/table of 0
+// select everything, otherwise a single figure (6..12) or table (1..2)
+// — and returns the concatenated text output exactly as janus-bench
+// prints it. All experiments run concurrently, their benchmark rows
+// scheduled on one worker pool bounded by Options.Jobs, and the
+// results are folded back in the fixed suite order: the returned bytes
+// are identical at any Jobs value, any GOMAXPROCS, and under every
+// engine selection.
+func RenderAll(o Options, fig, table int) (string, error) {
+	o = o.normalized()
+	runAll := fig == 0 && table == 0
+	var selected []Experiment
+	for _, e := range experiments() {
+		if runAll || e.Name == fmt.Sprintf("fig%d", fig) || e.Name == fmt.Sprintf("tab%d", table) {
+			selected = append(selected, e)
+		}
+	}
+
+	s := newScheduler(o.Jobs)
+	outs := make([]string, len(selected))
+	errs := make([]error, len(selected))
+	var wg sync.WaitGroup
+	for i, e := range selected {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			outs[i], errs[i] = e.render(o, s)
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return "", err
+		}
+	}
+	var b strings.Builder
+	for _, out := range outs {
+		// Matches fmt.Println of each rendered block.
+		b.WriteString(out)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

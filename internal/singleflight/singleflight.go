@@ -1,0 +1,80 @@
+// Package singleflight provides a bounded result cache with
+// singleflight semantics: the first caller for a key runs the
+// computation, concurrent callers for the same key block on that one
+// run and share its result. The repository's deterministic stages
+// (native baselines, training profiles, workload builds) are cached
+// through it so concurrent experiments never duplicate work.
+package singleflight
+
+import (
+	"errors"
+	"sync"
+)
+
+// call is one in-flight or completed computation.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Flight is a bounded singleflight result cache. The zero value is
+// ready to use; Limit == 0 means unbounded.
+type Flight[K comparable, V any] struct {
+	// Limit bounds the number of cached entries; when reached,
+	// completed entries are evicted (in-flight ones are kept, so the
+	// run-exactly-once guarantee survives eviction).
+	Limit int
+
+	mu    sync.Mutex
+	calls map[K]*call[V]
+}
+
+// Do returns the cached result for k, joining an in-flight
+// computation if one exists and running fn exactly once otherwise.
+// Errors are cached like values: the cached computations are
+// deterministic, so a retry would fail identically.
+func (f *Flight[K, V]) Do(k K, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = map[K]*call[V]{}
+	}
+	if c, ok := f.calls[k]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	if f.Limit > 0 && len(f.calls) >= f.Limit {
+		for k2, c2 := range f.calls {
+			select {
+			case <-c2.done:
+				delete(f.calls, k2)
+			default: // in flight: keep, so concurrent callers still join it
+			}
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	f.calls[k] = c
+	f.mu.Unlock()
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// fn panicked: drop the poisoned entry and release waiters with
+		// an error instead of leaving them blocked forever on done. The
+		// panic itself keeps propagating to the running caller.
+		f.mu.Lock()
+		delete(f.calls, k)
+		f.mu.Unlock()
+		c.err = errPanicked
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	completed = true
+	close(c.done)
+	return c.val, c.err
+}
+
+// errPanicked is handed to waiters whose shared computation panicked.
+var errPanicked = errors.New("singleflight: shared computation panicked")

@@ -7,6 +7,7 @@ import (
 	"janus/internal/asm"
 	"janus/internal/guest"
 	"janus/internal/obj"
+	"janus/internal/singleflight"
 )
 
 // Benchmark describes one synthetic SPEC-like workload: how to build it
@@ -353,11 +354,44 @@ func ByName(name string) (Benchmark, bool) {
 	return Benchmark{}, false
 }
 
+// buildKey identifies one deterministic build.
+type buildKey struct {
+	name string
+	in   Input
+	opt  OptLevel
+}
+
+// built pairs one build's outputs (the key space is bounded by the
+// registry, so the cache is unbounded).
+type built struct {
+	exe  *obj.Executable
+	libs []*obj.Library
+}
+
+var buildFlight singleflight.Flight[buildKey, built]
+
 // Build assembles the named benchmark at the given input size and
 // optimisation level, returning the executable and any libraries it
 // links against. The executable is stripped, as the paper targets
 // stripped binaries.
+//
+// Builds are deterministic, so results are cached per (name, input,
+// opt) with singleflight semantics: concurrent experiments asking for
+// the same binary share one build — and, because the returned
+// *obj.Executable pointer is stable, they also share the downstream
+// per-executable memos (native baseline, train profile). Executables
+// and libraries are never mutated after construction, so sharing is
+// safe under concurrency.
 func Build(name string, in Input, opt OptLevel) (*obj.Executable, []*obj.Library, error) {
+	b, err := buildFlight.Do(buildKey{name: name, in: in, opt: opt}, func() (built, error) {
+		exe, libs, err := build(name, in, opt)
+		return built{exe: exe, libs: libs}, err
+	})
+	return b.exe, b.libs, err
+}
+
+// build performs the uncached assembly of one benchmark binary.
+func build(name string, in Input, opt OptLevel) (*obj.Executable, []*obj.Library, error) {
 	bm, ok := ByName(name)
 	if !ok {
 		return nil, nil, fmt.Errorf("workloads: unknown benchmark %q", name)

@@ -55,6 +55,12 @@ type Config struct {
 	// results (virtual cycles, figures, memory hashes); this knob only
 	// trades host wall-clock, for debugging and engine A/B runs.
 	SingleGoroutine bool
+	// StaticPartition forces the static equal-chunk partitioner inside
+	// host-parallel regions instead of the work-stealing partitioner.
+	// Simulated results are bit-identical either way (the stealing
+	// engine folds every stolen piece back into its owning guest
+	// thread); stealing only balances host wall-clock across workers.
+	StaticPartition bool
 	// Verify compares the DBM run's outputs and memory against native
 	// execution and fails on mismatch (default true via Parallelise).
 	Verify bool
@@ -138,6 +144,7 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 
 	dcfg := dbm.DefaultConfig(cfg.Threads)
 	dcfg.HostParallel = !cfg.SingleGoroutine
+	dcfg.WorkStealing = !cfg.StaticPartition
 	if cfg.Cost != nil {
 		dcfg.Cost = *cfg.Cost
 	}

@@ -1,129 +1,95 @@
 package janus
 
 import (
-	"sync"
-
 	"janus/internal/analyzer"
 	"janus/internal/obj"
+	"janus/internal/singleflight"
 	"janus/internal/vm"
 )
 
 // Native execution and the profiling stage are deterministic functions
 // of the binary: the evaluation harness re-runs the same baseline many
 // times (figure 9 alone replays one binary at eight thread counts, each
-// replay needing the identical native result and train profile), so
-// both are memoised per executable. Entries key on the *obj.Executable
-// pointer — the workload builders return a fresh executable per build,
-// so a pointer can never alias two different programs — and the cache
-// is bounded so long-lived processes cannot grow it without limit.
+// replay needing the identical native result and train profile), and
+// with the experiment scheduler several benchmark rows run these
+// baselines concurrently. Each memo therefore has singleflight
+// semantics (internal/singleflight): the first caller runs, concurrent
+// callers for the same key block on that one run and share its result
+// instead of duplicating the work. Entries key on the *obj.Executable
+// pointer (plus the library set) — the workload build cache returns a
+// stable executable per (name, input, opt), so a pointer can never
+// alias two different programs — and each table is bounded so
+// long-lived processes cannot grow it without limit.
 
-// memoLimit bounds each memo table; when full the table is dropped
-// wholesale (the harness working set is far smaller).
+// memoLimit bounds each memo table (the harness working set is far
+// smaller); eviction keeps in-flight entries, so the run-exactly-once
+// guarantee survives it.
 const memoLimit = 64
 
-var memoMu sync.Mutex
+// libsKey folds a library pointer set into a comparable key.
+type libsKey [4]*obj.Library
 
-type nativeEntry struct {
-	libs []*obj.Library
-	res  *vm.Result
+func libsKeyOf(libs []*obj.Library) (libsKey, bool) {
+	var k libsKey
+	if len(libs) > len(k) {
+		return k, false
+	}
+	copy(k[:], libs)
+	return k, true
 }
 
-var nativeMemo = map[*obj.Executable]nativeEntry{}
-
-func sameLibs(a, b []*obj.Library) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+type runKey struct {
+	exe  *obj.Executable
+	libs libsKey
 }
+
+var nativeFlight = singleflight.Flight[runKey, *vm.Result]{Limit: memoLimit}
 
 // runNativeMemo returns the (deterministic) native execution result for
-// exe, running it at most once per executable.
+// exe, running it at most once per (executable, libraries) even under
+// concurrent callers.
 func runNativeMemo(exe *obj.Executable, libs ...*obj.Library) (*vm.Result, error) {
-	memoMu.Lock()
-	if e, ok := nativeMemo[exe]; ok && sameLibs(e.libs, libs) {
-		memoMu.Unlock()
-		return e.res, nil
+	lk, ok := libsKeyOf(libs)
+	if !ok {
+		return vm.RunNative(exe, libs...)
 	}
-	memoMu.Unlock()
-	res, err := vm.RunNative(exe, libs...)
-	if err != nil {
-		return nil, err
-	}
-	memoMu.Lock()
-	if len(nativeMemo) >= memoLimit {
-		nativeMemo = map[*obj.Executable]nativeEntry{}
-	}
-	nativeMemo[exe] = nativeEntry{libs: libs, res: res}
-	memoMu.Unlock()
-	return res, nil
+	return nativeFlight.Do(runKey{exe: exe, libs: lk}, func() (*vm.Result, error) {
+		return vm.RunNative(exe, libs...)
+	})
 }
 
-var analyzeMemo = map[*obj.Executable]*analyzer.Program{}
+var analyzeFlight = singleflight.Flight[*obj.Executable, *analyzer.Program]{Limit: memoLimit}
 
 // runAnalyzeMemo returns the static analysis of exe, running it at
 // most once per executable. The shared Program is read-only in the
 // profiling path (GenProfileSchedule builds a fresh schedule; the
 // Apply* mutators are only ever called on per-run analyses).
 func runAnalyzeMemo(exe *obj.Executable) (*analyzer.Program, error) {
-	memoMu.Lock()
-	if prog, ok := analyzeMemo[exe]; ok {
-		memoMu.Unlock()
-		return prog, nil
-	}
-	memoMu.Unlock()
-	prog, err := analyzer.Analyze(exe)
-	if err != nil {
-		return nil, err
-	}
-	memoMu.Lock()
-	if len(analyzeMemo) >= memoLimit {
-		analyzeMemo = map[*obj.Executable]*analyzer.Program{}
-	}
-	analyzeMemo[exe] = prog
-	memoMu.Unlock()
-	return prog, nil
+	return analyzeFlight.Do(exe, func() (*analyzer.Program, error) {
+		return analyzer.Analyze(exe)
+	})
 }
 
-// profileKey identifies one profiling run: the binary and the analysis
-// it was instrumented from (a different analysis of the same binary
-// must not reuse the profile).
+// profileKey identifies one profiling run: the binary, the analysis it
+// was instrumented from (a different analysis of the same binary must
+// not reuse the profile), and the library set.
 type profileKey struct {
 	exe  *obj.Executable
 	prog *analyzer.Program
+	libs libsKey
 }
 
-type profileEntry struct {
-	libs []*obj.Library
-	res  *ProfileResult
-}
-
-var profileMemo = map[profileKey]profileEntry{}
+var profileFlight = singleflight.Flight[profileKey, *ProfileResult]{Limit: memoLimit}
 
 // runProfilingMemo returns the training-stage profile for exe under
-// prog, running it at most once per (executable, analysis) pair.
+// prog, running it at most once per (executable, analysis, libraries)
+// even under concurrent callers.
 func runProfilingMemo(exe *obj.Executable, prog *analyzer.Program, libs ...*obj.Library) (*ProfileResult, error) {
-	k := profileKey{exe: exe, prog: prog}
-	memoMu.Lock()
-	if e, ok := profileMemo[k]; ok && sameLibs(e.libs, libs) {
-		memoMu.Unlock()
-		return e.res, nil
+	lk, ok := libsKeyOf(libs)
+	if !ok {
+		return RunProfiling(exe, prog, libs...)
 	}
-	memoMu.Unlock()
-	pr, err := RunProfiling(exe, prog, libs...)
-	if err != nil {
-		return nil, err
-	}
-	memoMu.Lock()
-	if len(profileMemo) >= memoLimit {
-		profileMemo = map[profileKey]profileEntry{}
-	}
-	profileMemo[k] = profileEntry{libs: libs, res: pr}
-	memoMu.Unlock()
-	return pr, nil
+	return profileFlight.Do(profileKey{exe: exe, prog: prog, libs: lk}, func() (*ProfileResult, error) {
+		return RunProfiling(exe, prog, libs...)
+	})
 }
