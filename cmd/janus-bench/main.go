@@ -14,6 +14,14 @@
 //	                                     (outputs are byte-identical)
 //	janus-bench -engine-json BENCH_engine.json
 //	                                     execution-engine perf snapshot
+//	janus-bench -inject scan-defeat      arm deterministic fault injection
+//	                                     in speculative regions; recovery
+//	                                     re-executes them round-robin, so
+//	                                     stdout stays byte-identical and a
+//	                                     recovery summary goes to stderr.
+//	                                     Spec: point[@every][#seed], point
+//	                                     one of scan-defeat, worker-panic,
+//	                                     stall, budget
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"os"
 
+	"janus/internal/faultinject"
 	"janus/internal/harness"
 )
 
@@ -33,6 +42,7 @@ func main() {
 	hostParallel := flag.Bool("host-parallel", !def.SingleGoroutine, "run eligible parallel regions on host goroutines; false forces the single-goroutine round-robin engine (figure/table outputs are bit-identical either way)")
 	steal := flag.Bool("steal", !def.StaticPartition, "balance host-parallel regions with the work-stealing partitioner; false forces static equal chunking (figure/table outputs are bit-identical either way)")
 	engineJSON := flag.String("engine-json", "", "run the execution-engine micro-benchmarks and write a JSON perf snapshot to this path")
+	inject := flag.String("inject", "", "arm deterministic fault injection in speculative regions, spec point[@every][#seed] with point one of scan-defeat, worker-panic, stall, budget (recovery keeps stdout byte-identical; summary on stderr)")
 	flag.Parse()
 
 	opts := harness.Options{
@@ -40,6 +50,12 @@ func main() {
 		Jobs:            *jobs,
 		SingleGoroutine: !*hostParallel,
 		StaticPartition: !*steal,
+		Recovery:        &harness.RecoveryLog{},
+	}
+	if *inject != "" {
+		plan, err := faultinject.ParsePlan(*inject)
+		exitOn(err)
+		opts.Inject = plan
 	}
 
 	if *engineJSON != "" {
@@ -48,8 +64,13 @@ func main() {
 	}
 
 	out, err := harness.RenderAll(opts, *fig, *table)
-	exitOn(err)
+	// Partial results: failed experiments are marked inline, healthy
+	// ones render normally; print before exiting nonzero.
 	fmt.Print(out)
+	if opts.Inject != nil || opts.Recovery.ParRecoveries.Load() > 0 {
+		fmt.Fprintln(os.Stderr, "janus-bench:", opts.Recovery.Summary())
+	}
+	exitOn(err)
 }
 
 func exitOn(err error) {

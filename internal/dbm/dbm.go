@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sync"
 
+	"janus/internal/faultinject"
 	"janus/internal/guest"
 	"janus/internal/jrt"
 	"janus/internal/obj"
@@ -118,6 +119,10 @@ type Config struct {
 	MaxSteps int64
 	// Cost is the virtual-cycle cost model.
 	Cost CostModel
+	// Inject, when non-nil, arms deterministic fault injection inside
+	// speculative regions (see internal/faultinject); nil costs
+	// nothing.
+	Inject *faultinject.Plan
 }
 
 // DefaultConfig returns a ready-to-use configuration.
@@ -154,6 +159,13 @@ type Stats struct {
 	StealRegions int64
 	SeqFallbacks int64
 	CacheFlushes int64
+	// ParRecoveries counts speculative regions that failed, rolled back
+	// and re-executed round-robin; DemotedLoops counts the distinct
+	// loops latched onto the round-robin engine by those recoveries.
+	// Both are folded on the orchestrating goroutine only, so they are
+	// deterministic for a given injection plan.
+	ParRecoveries int64
+	DemotedLoops  int64
 	// Runtime checks.
 	ChecksRun    int64
 	ChecksFailed int64
@@ -255,6 +267,19 @@ type Executor struct {
 	// LOOP_INIT does not re-fire on every header execution. Indexed by
 	// loop ID (dense small ints from the analyzer).
 	seqLoop []bool
+	// demotedLoop latches loops onto the round-robin engine after a
+	// speculation recovery (see recover.go). Same indexing as seqLoop.
+	demotedLoop []bool
+
+	// inj is the armed fault injector (nil unless Config.Inject is
+	// set; nil-safe everywhere it is consulted).
+	inj *faultinject.Injector
+	// chargeUndo[t] journals the block addresses first charged to guest
+	// thread t inside the active speculative region, so a recovery can
+	// undo exactly those charges. Appended lock-free by the owning
+	// thread on the static host-parallel path and under stealMu on the
+	// stealing path; drained on the orchestrating goroutine.
+	chargeUndo [][]uint64
 
 	// Per-thread transaction state (index = thread ID). txSpare keeps a
 	// finished transaction per thread for buffer reuse.
@@ -306,6 +331,8 @@ func New(exe *obj.Executable, s *rules.Schedule, cfg Config, libs ...*obj.Librar
 		txSpare:     make([]*stm.Tx, cfg.Threads),
 		suppressTx:  make([]bool, cfg.Threads),
 		txStartAddr: make([]uint64, cfg.Threads),
+		inj:         faultinject.NewInjector(cfg.Inject),
+		chargeUndo:  make([][]uint64, cfg.Threads),
 	}
 	for i := range ex.caches {
 		ex.caches[i] = map[uint64]*tblock{}
@@ -373,7 +400,7 @@ func (ex *Executor) Run() (*Result, error) {
 	t := &jrt.Thread{ID: 0, Ctx: ex.main}
 	for !ex.main.Halted {
 		if ex.steps >= ex.Cfg.MaxSteps {
-			return nil, fmt.Errorf("dbm: exceeded %d steps", ex.Cfg.MaxSteps)
+			return nil, fmt.Errorf("dbm: exceeded %d steps: %w", ex.Cfg.MaxSteps, ErrStepBudget)
 		}
 		err := ex.stepBlock(t)
 		ex.fold(t)

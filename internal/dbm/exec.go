@@ -1,8 +1,7 @@
 package dbm
 
 import (
-	"fmt"
-
+	"janus/internal/faultinject"
 	"janus/internal/guest"
 	"janus/internal/jrt"
 	"janus/internal/rules"
@@ -29,15 +28,20 @@ func (ex *Executor) stepBlock(t *jrt.Thread) error {
 		// execute unscanned code, or a syscall, on a concurrent worker.
 		// The verdict is static per (block, loop), so it is stamped on
 		// the thread-private block and steady state pays two compares.
+		if ex.inj.Fire(faultinject.ScanDefeat) {
+			// Forced scan defeat: behave exactly as if this block fell
+			// outside the scanned set.
+			return ErrScanEscaped
+		}
 		if b.scanLoop != ex.loop.LoopID {
 			b.scanLoop = ex.loop.LoopID
 			b.scanOK = !b.hasSyscall && ex.hostParSet[b.start]
 		}
 		if !b.scanOK {
 			if b.hasSyscall && ex.hostParSet[b.start] {
-				return errHostParSyscall
+				return ErrScanSyscall
 			}
-			return errHostParEscaped
+			return ErrScanEscaped
 		}
 		if ex.stealActive {
 			ex.chargeStealOwner(t, b)
@@ -196,9 +200,9 @@ func (ex *Executor) runHandler(t *jrt.Thread, it *titem, r rules.Rule) (*redirec
 
 	case rules.TX_START:
 		if ex.hostParActive {
-			// See errHostParSyscall: speculation needs the round-robin
+			// See ErrScanSyscall: speculation needs the round-robin
 			// commit order.
-			return nil, errHostParTx
+			return nil, ErrScanTx
 		}
 		if ex.inParallel && ex.tx[t.ID] == nil && !ex.suppressTx[t.ID] {
 			cp := stm.Checkpoint{GPR: t.Ctx.GPR, ZF: t.Ctx.ZF, LF: t.Ctx.LF, PC: it.addr}
@@ -258,15 +262,3 @@ func (ex *Executor) finishTx(t *jrt.Thread, tx *stm.Tx) (*redirect, error) {
 	ex.Stats.TxAborts++
 	return &redirect{pc: cp.PC}, nil
 }
-
-// errStuck reports a wedged parallel region.
-var errStuck = fmt.Errorf("dbm: parallel region made no progress")
-
-// errHostParSyscall / errHostParTx report schedule-ordered work reached
-// inside a host-parallel region — impossible unless the eligibility
-// scan's static view of the loop body was defeated at runtime.
-var (
-	errHostParSyscall = fmt.Errorf("dbm: syscall reached in host-parallel region (eligibility scan defeated)")
-	errHostParTx      = fmt.Errorf("dbm: transaction started in host-parallel region (eligibility scan defeated)")
-	errHostParEscaped = fmt.Errorf("dbm: unscanned block reached in host-parallel region (eligibility scan defeated)")
-)

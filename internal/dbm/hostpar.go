@@ -1,10 +1,11 @@
 package dbm
 
 import (
-	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"janus/internal/faultinject"
 	"janus/internal/guest"
 	"janus/internal/jrt"
 	"janus/internal/rules"
@@ -51,6 +52,12 @@ const hostParScanCap = 1 << 15
 // current configuration, or nil if it must use the round-robin engine.
 func (ex *Executor) hostParEligible(loopID int32, start uint64) map[uint64]bool {
 	if !ex.Cfg.HostParallel || ex.Cfg.Profile || ex.Cfg.Threads <= 1 {
+		return nil
+	}
+	// A loop demoted by a speculation recovery stays on the round-robin
+	// engine for the rest of the run (see recover.go); the cached scan
+	// verdict below remains valid, it just stops being consulted.
+	if ex.demoted(loopID) {
 		return nil
 	}
 	if set, seen := ex.hostParScan[loopID]; seen {
@@ -149,13 +156,17 @@ func (ex *Executor) runRegionHostParallel(loopID int32, threads []*jrt.Thread, l
 	// region trips after the same MaxSteps total under either engine.
 	var budget atomic.Int64
 	budget.Store(ex.Cfg.MaxSteps)
-	// failed cancels the siblings of a failing thread: any error aborts
-	// the whole run, so their remaining work is wasted. Which threads
-	// record an error can depend on host scheduling (a sibling may
-	// finish or notice the flag first); the run's success/failure never
-	// does, and on the only failure paths that exist — a defeated
-	// eligibility scan or a runaway region — the abort itself is the
-	// contract, not the specific message.
+	if ex.inj.Fire(faultinject.BudgetExhaust) {
+		// Forced budget exhaustion: every worker trips the runaway
+		// backstop on its first block.
+		budget.Store(0)
+	}
+	// failed cancels the siblings of a failing thread: any error sends
+	// the whole region to recovery, so their remaining work is wasted.
+	// Which threads record an error can depend on host scheduling (a
+	// sibling may finish or notice the flag first); the region's
+	// success/failure never does, and the round-robin re-execution —
+	// not the specific message — is what determines the run's outcome.
 	var failed atomic.Bool
 	ex.hostParActive = true
 	ex.hostParSet = scanned
@@ -169,6 +180,14 @@ func (ex *Executor) runRegionHostParallel(loopID int32, threads []*jrt.Thread, l
 		wg.Add(1)
 		go func(th *jrt.Thread) {
 			defer wg.Done()
+			// Contain worker panics: a bug (or injected fault) in one
+			// region must fail that region, never the process.
+			defer func() {
+				if p := recover(); p != nil {
+					failed.Store(true)
+					errs[th.ID] = panicErr(loopID, th.ID, p, debug.Stack())
+				}
+			}()
 			errs[th.ID] = ex.runThreadToExit(loopID, th, lc, &budget, &failed)
 		}(th)
 	}
@@ -190,16 +209,25 @@ func (ex *Executor) runThreadToExit(loopID int32, th *jrt.Thread, lc *jrt.LoopCt
 		if failed.Load() {
 			return nil
 		}
+		if ex.inj.Fire(faultinject.WorkerPanic) {
+			panic("faultinject: forced worker panic")
+		}
+		if ex.inj.Fire(faultinject.Stall) {
+			// Forced stall: report the region wedged, as a livelocked
+			// worker eventually would.
+			failed.Store(true)
+			return regionErr(loopID, th.ID, ErrRegionStuck)
+		}
 		if budget.Add(-1) < 0 {
 			if failed.Load() {
 				return nil // a failing sibling may have drained the budget
 			}
 			failed.Store(true)
-			return errStuck
+			return regionErr(loopID, th.ID, ErrRegionStuck)
 		}
 		if err := ex.stepBlock(th); err != nil {
 			failed.Store(true)
-			return fmt.Errorf("dbm: loop %d thread %d: %w", loopID, th.ID, err)
+			return regionErr(loopID, th.ID, err)
 		}
 		if lc.IsExit(th.Ctx.PC) {
 			th.State = jrt.StateDone

@@ -2,11 +2,11 @@ package dbm
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"janus/internal/guest"
 	"janus/internal/jrt"
 	"janus/internal/rules"
-	"janus/internal/vm"
 )
 
 // runParallelLoop is the LOOP_INIT handler on the main thread: it
@@ -78,63 +78,40 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 
 	// Partition and launch.
 	chunks := jrt.PartitionChunked(n, ex.Cfg.Threads)
-	threads := make([]*jrt.Thread, ex.Cfg.Threads)
-	for i := 0; i < ex.Cfg.Threads; i++ {
-		ctx := &vm.Context{ID: i, Bus: ex.views[i]}
-		ctx.GPR = main.GPR
-		ctx.GPR[guest.RegTLS] = jrt.TLSFor(i)
-		if i != 0 {
-			ctx.SetReg(guest.SP, jrt.StackTopFor(i))
-		}
-		for _, iv := range ld.Inductions {
-			init := iv.Init.Eval(entry, 0)
-			ctx.SetReg(iv.Reg, uint64(init+iv.Step*chunks[i].Lo))
-		}
-		for _, red := range ld.Reductions {
-			ctx.SetReg(red.Reg, jrt.ReductionIdentity(red.Op))
-		}
-		bv, err := jrt.PatchedBound(ubd, entry, chunks[i].Hi)
-		if err != nil {
-			return nil, err
-		}
-		lc.BoundValue[i] = bv
-		ctx.PC = ld.LoopStart
-		th := &jrt.Thread{ID: i, Ctx: ctx, Lo: chunks[i].Lo, Hi: chunks[i].Hi, State: jrt.StateScheduled}
-		if chunks[i].Lo >= chunks[i].Hi {
-			th.State = jrt.StateDone
-		}
-		threads[i] = th
+	threads, err := ex.buildRegionThreads(ld, lc, ubd, entry, chunks)
+	if err != nil {
+		return nil, err
 	}
 
 	// Region execution. Both engines produce bit-identical per-thread
 	// virtual clocks and memory images; the host-parallel engine is
 	// chosen only when the static eligibility scan proves the loop body
 	// free of cross-thread interactions the round-robin schedule would
-	// otherwise order (see hostpar.go).
+	// otherwise order (see hostpar.go). Speculative engines run under
+	// an undo log and fall back to round-robin on any failure (see
+	// recover.go), so a recovered region renders exactly what a pure
+	// round-robin run renders.
 	ex.loop = lc
 	ex.inParallel = true
 	ex.Stats.ParRegions++
 	defer func() { ex.loop = nil; ex.inParallel = false }()
 
-	var regionErr error
+	var engineErr error
 	if scanned := ex.hostParEligible(r.LoopID, ld.LoopStart); scanned != nil {
 		ex.Stats.HostParRegions++
-		if ex.stealEligible(r.LoopID, ld) {
-			ex.Stats.StealRegions++
-			regionErr = ex.runRegionStealing(r.LoopID, threads, lc, ld, ubd, entry, n, scanned)
-		} else {
-			regionErr = ex.runRegionHostParallel(r.LoopID, threads, lc, scanned)
-		}
+		threads, engineErr = ex.runRegionRecoverable(r, threads, lc, ld, ubd, entry, n, chunks, scanned)
 	} else {
-		regionErr = ex.runRegionRoundRobin(r.LoopID, threads, lc)
+		engineErr = ex.runRegionRoundRobin(r.LoopID, threads, lc)
 	}
 	// Fold thread-local counters in thread-ID order — a deterministic
-	// schedule-independent point, identical for both engines.
+	// schedule-independent point, identical for both engines. A failed
+	// speculative attempt's threads were dropped unfolded; only the
+	// threads that produced the region's result reach this point.
 	for _, th := range threads {
 		ex.fold(th)
 	}
-	if regionErr != nil {
-		return nil, regionErr
+	if engineErr != nil {
+		return nil, engineErr
 	}
 
 	// Virtual time: the region took as long as its slowest thread, plus
@@ -194,7 +171,17 @@ func (ex *Executor) runParallelLoop(mainT *jrt.Thread, r rules.Rule) (*redirect,
 // engine: the deterministic schedule orders speculative commits (oldest
 // thread first) and serialises syscalls, so every loop can run under
 // it.
-func (ex *Executor) runRegionRoundRobin(loopID int32, threads []*jrt.Thread, lc *jrt.LoopCtx) error {
+func (ex *Executor) runRegionRoundRobin(loopID int32, threads []*jrt.Thread, lc *jrt.LoopCtx) (err error) {
+	// The round-robin engine runs on the orchestrating goroutine, so a
+	// panicking handler or guest bug would otherwise unwind the whole
+	// process; contain it as a fatal RegionError (this engine is the
+	// fallback — there is nothing left to recover to).
+	cur := -1
+	defer func() {
+		if p := recover(); p != nil {
+			err = panicErr(loopID, cur, p, debug.Stack())
+		}
+	}()
 	active := 0
 	for _, th := range threads {
 		if th.State != jrt.StateDone {
@@ -219,11 +206,12 @@ func (ex *Executor) runRegionRoundRobin(loopID int32, threads []*jrt.Thread, lc 
 			// engine's shared budget enforces: a runaway region fails
 			// after MaxSteps blocks under either engine.
 			if guard <= 0 {
-				return errStuck
+				return regionErr(loopID, -1, ErrRegionStuck)
 			}
 			th.Oldest = th.ID == oldest
+			cur = th.ID
 			if err := ex.stepBlock(th); err != nil {
-				return fmt.Errorf("dbm: loop %d thread %d: %w", loopID, th.ID, err)
+				return regionErr(loopID, th.ID, err)
 			}
 			progressed = true
 			guard--
@@ -244,7 +232,7 @@ func (ex *Executor) runRegionRoundRobin(loopID int32, threads []*jrt.Thread, lc 
 			}
 		}
 		if !progressed {
-			return errStuck
+			return regionErr(loopID, -1, ErrRegionStuck)
 		}
 	}
 	return nil

@@ -1,10 +1,11 @@
 package dbm
 
 import (
-	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"janus/internal/faultinject"
 	"janus/internal/guest"
 	"janus/internal/jrt"
 	"janus/internal/rules"
@@ -98,6 +99,9 @@ func (ex *Executor) chargeStealOwner(t *jrt.Thread, b *tblock) {
 	set := ex.charged[t.Owner]
 	if !set[b.start] {
 		set[b.start] = true
+		// Journal for recovery rollback (stealMu serialises appends to
+		// the same owner's list from racing workers).
+		ex.chargeUndo[t.Owner] = append(ex.chargeUndo[t.Owner], b.start)
 		t.TransBlocks++
 		t.TransInsts += int64(len(b.items))
 		cost := int64(len(b.items)) * ex.Cfg.Cost.TransPerInst
@@ -217,6 +221,11 @@ func (ex *Executor) runRegionStealing(loopID int32, threads []*jrt.Thread, lc *j
 
 	var budget atomic.Int64
 	budget.Store(ex.Cfg.MaxSteps)
+	if ex.inj.Fire(faultinject.BudgetExhaust) {
+		// Forced budget exhaustion: every worker trips the runaway
+		// backstop on its first block.
+		budget.Store(0)
+	}
 	var failed atomic.Bool
 	errs := make([]error, len(threads))
 
@@ -246,6 +255,14 @@ func (ex *Executor) runRegionStealing(loopID int32, threads []*jrt.Thread, lc *j
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Contain worker panics: a bug (or injected fault) in one
+			// region must fail that region, never the process.
+			defer func() {
+				if p := recover(); p != nil {
+					failed.Store(true)
+					errs[w] = panicErr(loopID, w, p, debug.Stack())
+				}
+			}()
 			errs[w] = ex.runStealWorker(w, loopID, lc, ld, chunks, bounds, ivInit, isLast, deques, results, &budget, &failed, func(idx int, th *jrt.Thread) {
 				sc := chunks[idx]
 				if idx == ownerLast[sc.Owner] {
@@ -354,17 +371,26 @@ func (ex *Executor) runStealWorker(w int, loopID int32, lc *jrt.LoopCtx, ld rule
 			if failed.Load() {
 				return nil
 			}
+			if ex.inj.Fire(faultinject.WorkerPanic) {
+				panic("faultinject: forced worker panic")
+			}
+			if ex.inj.Fire(faultinject.Stall) {
+				// Forced stall: report the region wedged, as a livelocked
+				// worker eventually would.
+				failed.Store(true)
+				return regionErr(loopID, w, ErrRegionStuck)
+			}
 			if budget.Add(-1) < 0 {
 				if failed.Load() {
 					return nil // a failing sibling may have drained the budget
 				}
 				failed.Store(true)
-				return errStuck
+				return regionErr(loopID, w, ErrRegionStuck)
 			}
 			preCycles, preInsts, preSteps := ctx.Cycles, ctx.Insts, th.Steps
 			if err := ex.stepBlock(th); err != nil {
 				failed.Store(true)
-				return fmt.Errorf("dbm: loop %d worker %d: %w", loopID, w, err)
+				return regionErr(loopID, w, err)
 			}
 			if lc.IsExit(ctx.PC) {
 				if !isLast[idx] {

@@ -113,6 +113,12 @@ func (ex *Executor) blockFor(t *jrt.Thread, addr uint64) (*tblock, error) {
 		// deterministically in chargeStealOwner instead.
 		if !ex.stealActive && !ex.charged[t.ID][addr] {
 			ex.charged[t.ID][addr] = true
+			if ex.hostParActive {
+				// Journal charges made inside a speculative region so a
+				// recovery can undo exactly these (lock-free: only the
+				// owning thread appends to its own list).
+				ex.chargeUndo[t.ID] = append(ex.chargeUndo[t.ID], addr)
+			}
 			t.TransBlocks++
 			t.TransInsts += int64(len(b.items))
 			cost := int64(len(b.items)) * ex.Cfg.Cost.TransPerInst

@@ -18,11 +18,13 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"janus"
 	"janus/internal/analyzer"
 	"janus/internal/compilers"
 	"janus/internal/dbm"
+	"janus/internal/faultinject"
 	"janus/internal/obj"
 	"janus/internal/workloads"
 )
@@ -53,6 +55,35 @@ type Options struct {
 	// host-parallel regions instead of the work-stealing partitioner
 	// (janus-bench -steal=false).
 	StaticPartition bool
+	// Inject arms deterministic fault injection inside speculative
+	// regions (janus-bench -inject). Injected faults recover onto the
+	// round-robin engine, so rendered output stays byte-identical; the
+	// Recovery log below proves the recovery path actually ran.
+	Inject *faultinject.Plan
+	// Recovery, when non-nil, accumulates recovery counters across
+	// every Janus run the suite performs.
+	Recovery *RecoveryLog
+}
+
+// RecoveryLog aggregates speculation-recovery counters across the
+// concurrent Janus runs of a suite render (janus-bench surfaces it on
+// stderr so silent demotions are visible without perturbing the golden
+// stdout).
+type RecoveryLog struct {
+	ParRecoveries atomic.Int64
+	DemotedLoops  atomic.Int64
+}
+
+// Fold accumulates one run's counters.
+func (l *RecoveryLog) Fold(st dbm.Stats) {
+	l.ParRecoveries.Add(st.ParRecoveries)
+	l.DemotedLoops.Add(st.DemotedLoops)
+}
+
+// Summary renders the accumulated counters.
+func (l *RecoveryLog) Summary() string {
+	return fmt.Sprintf("speculation recovery: %d region recoveries, %d loops demoted",
+		l.ParRecoveries.Load(), l.DemotedLoops.Load())
 }
 
 // DefaultOptions is the janus-bench default configuration.
@@ -74,11 +105,15 @@ func (o Options) normalized() Options {
 	return o
 }
 
-// engineConfig applies the run's engine selection to one Janus
-// configuration.
+// engineConfig applies the run's engine selection and fault-injection
+// plan to one Janus configuration.
 func (o Options) engineConfig(c janus.Config) janus.Config {
 	c.SingleGoroutine = o.SingleGoroutine
 	c.StaticPartition = o.StaticPartition
+	c.Inject = o.Inject
+	if o.Recovery != nil {
+		c.OnStats = o.Recovery.Fold
+	}
 	return c
 }
 

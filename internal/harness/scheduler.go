@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -16,17 +18,15 @@ import (
 // input, opt), and the baseline memos in package janus have
 // singleflight semantics, so concurrent rows share one native run and
 // one train profile per binary instead of duplicating them.
+//
+// Failure is contained per experiment: the first erroring (or
+// panicking) row abandons that experiment's remaining rows, but
+// sibling experiments sharing the pool keep running, so RenderAll can
+// report every healthy figure alongside the failed one.
 
 // scheduler bounds row-level concurrency across the whole suite.
 type scheduler struct {
 	slots chan struct{}
-	// failed is set by the first erroring row so rows not yet started
-	// — across every experiment sharing the pool — are abandoned: any
-	// error discards the whole render, so their work would be wasted.
-	// Which rows got to run before noticing the flag (and hence which
-	// error is reported) can depend on host scheduling; whether the
-	// render fails never does.
-	failed atomic.Bool
 }
 
 // newScheduler returns a scheduler running at most jobs rows at once.
@@ -40,9 +40,17 @@ func newScheduler(jobs int) *scheduler {
 // forEach runs f(0..n-1) on the bounded pool and returns the
 // lowest-index error. Each call acquires one slot; experiments fan
 // their rows out through this, so nested units never hold a slot while
-// waiting on children.
+// waiting on children. A panicking row is recovered into an error
+// carrying its stack, so one broken experiment can never take down a
+// long-lived process embedding the harness.
 func (s *scheduler) forEach(n int, f func(i int) error) error {
 	errs := make([]error, n)
+	// failed is scoped to this call: it abandons this experiment's
+	// not-yet-started rows once one fails (their work would be wasted),
+	// never sibling experiments'. Which rows ran before noticing the
+	// flag can depend on host scheduling; whether the experiment fails
+	// never does.
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -50,11 +58,17 @@ func (s *scheduler) forEach(n int, f func(i int) error) error {
 			defer wg.Done()
 			s.slots <- struct{}{}
 			defer func() { <-s.slots }()
-			if s.failed.Load() {
+			if failed.Load() {
 				return
 			}
+			defer func() {
+				if p := recover(); p != nil {
+					failed.Store(true)
+					errs[i] = fmt.Errorf("row %d panicked: %v\n%s", i, p, debug.Stack())
+				}
+			}()
 			if err := f(i); err != nil {
-				s.failed.Store(true)
+				failed.Store(true)
 				errs[i] = err
 			}
 		}(i)

@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 )
@@ -87,6 +89,13 @@ func experiments() []Experiment {
 // results are folded back in the fixed suite order: the returned bytes
 // are identical at any Jobs value, any GOMAXPROCS, and under every
 // engine selection.
+//
+// Failure is partial: an experiment that errors (or panics — the
+// scheduler and RenderAll both recover) is replaced in the output by a
+// one-line failure marker while every other experiment renders
+// normally, and the joined errors are returned alongside the partial
+// output. When every experiment succeeds the output is byte-identical
+// to what the all-or-nothing path produced.
 func RenderAll(o Options, fig, table int) (string, error) {
 	o = o.normalized()
 	runAll := fig == 0 && table == 0
@@ -105,20 +114,31 @@ func RenderAll(o Options, fig, table int) (string, error) {
 		wg.Add(1)
 		go func(i int, e Experiment) {
 			defer wg.Done()
+			// Rows recover their own panics (scheduler.forEach); this
+			// catches panics in the experiment glue itself.
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("experiment panicked: %v\n%s", p, debug.Stack())
+				}
+			}()
 			outs[i], errs[i] = e.render(o, s)
 		}(i, e)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return "", err
-		}
-	}
 	var b strings.Builder
-	for _, out := range outs {
+	var failures []error
+	for i, out := range outs {
+		if errs[i] != nil {
+			failures = append(failures, fmt.Errorf("%s: %w", selected[i].Name, errs[i]))
+			fmt.Fprintf(&b, "[%s failed: %v]\n\n", selected[i].Name, errs[i])
+			continue
+		}
 		// Matches fmt.Println of each rendered block.
 		b.WriteString(out)
 		b.WriteString("\n")
+	}
+	if len(failures) > 0 {
+		return b.String(), errors.Join(failures...)
 	}
 	return b.String(), nil
 }

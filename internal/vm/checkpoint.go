@@ -1,0 +1,111 @@
+package vm
+
+import "sync"
+
+// Region checkpointing.
+//
+// A Checkpoint captures the memory image at a point in time so a
+// speculative region engine can undo a failed region and re-execute it
+// deterministically. It is built on the same page granularity as the
+// incremental hash: activating a checkpoint costs O(1); every page
+// receives a copy-on-first-write snapshot the first time any thread
+// dirties it while the checkpoint is active, so the total cost is
+// O(pages dirtied inside the region), never O(resident set).
+//
+// Concurrency contract: Snapshot and Restore/Discard are called by the
+// single orchestrating goroutine, before region workers are spawned and
+// after they are joined. While the checkpoint is active, any number of
+// workers may write through their MemViews: the first writer of a page
+// copies it under the checkpoint mutex *before* its own store lands
+// (every store path runs the open-coded touch hook — ckpt check, then
+// MemView.touchCkpt — ahead of mutating page data),
+// and later writers observe the saved epoch stamp and pay one atomic
+// load. The active-checkpoint field itself is a plain pointer read on
+// the store fast path — safe because activation happens-before the
+// worker spawns and deactivation happens-after the join, so no store
+// can race the field flip.
+
+// Checkpoint is an undo log of pre-region page images.
+type Checkpoint struct {
+	m *Memory
+	// epoch identifies this checkpoint on page stamps; pages whose
+	// snapEpoch matches are already saved. Stale stamps from earlier
+	// checkpoints never match, so Discard needs no stamp sweep.
+	epoch uint64
+
+	mu    sync.Mutex
+	saved []savedPage
+}
+
+// savedPage is one page's pre-region image.
+type savedPage struct {
+	p    *page
+	data []byte
+}
+
+// Snapshot activates a checkpoint over the whole address space. At most
+// one checkpoint may be active per Memory; Restore or Discard releases
+// it. Snapshot itself copies nothing.
+func (m *Memory) Snapshot() *Checkpoint {
+	if m.ckpt != nil {
+		panic("vm: nested memory checkpoint")
+	}
+	m.ckptEpoch++
+	c := &Checkpoint{m: m, epoch: m.ckptEpoch}
+	m.ckpt = c
+	return c
+}
+
+// save copies p's current contents into the checkpoint if this is the
+// first write to p since the checkpoint activated. Callers must invoke
+// it before mutating p's data: the epoch stamp is published only after
+// the copy completes, so a concurrent first-writer of the same page
+// cannot slip its store into the saved image.
+func (c *Checkpoint) save(p *page) {
+	if p.snapEpoch.Load() == c.epoch {
+		return
+	}
+	c.mu.Lock()
+	if p.snapEpoch.Load() != c.epoch {
+		buf := make([]byte, pageSize)
+		copy(buf, p.data[:])
+		c.saved = append(c.saved, savedPage{p: p, data: buf})
+		p.snapEpoch.Store(c.epoch)
+	}
+	c.mu.Unlock()
+}
+
+// Restore rewrites every page dirtied since Snapshot back to its saved
+// image and deactivates the checkpoint: memory is byte-identical to the
+// snapshot point. Pages first allocated inside the region were saved as
+// zeroes on their first write, so they restore to zeroes and drop back
+// out of the memory hashes (all-zero pages hash like absent ones).
+// O(dirty pages); must not run concurrently with guest writes.
+func (c *Checkpoint) Restore() {
+	for _, s := range c.saved {
+		copy(s.p.data[:], s.data)
+		s.p.dirty.Store(1)
+	}
+	c.release()
+}
+
+// Discard deactivates the checkpoint and drops the undo log, keeping
+// every write made since Snapshot. O(1) beyond garbage.
+func (c *Checkpoint) Discard() {
+	c.release()
+}
+
+func (c *Checkpoint) release() {
+	if c.m.ckpt == c {
+		c.m.ckpt = nil
+	}
+	c.saved = nil
+}
+
+// Pages reports how many pages the checkpoint has saved so far
+// (diagnostics and cost tests only).
+func (c *Checkpoint) Pages() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.saved)
+}

@@ -1,0 +1,157 @@
+package vm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCheckpointRestoreExact verifies Restore returns memory to the
+// byte-exact snapshot image: contents, hash, and pages allocated inside
+// the region (which must hash as if never touched).
+func TestCheckpointRestoreExact(t *testing.T) {
+	m := NewMemory()
+	for i := uint64(0); i < 64; i++ {
+		m.Write64(0x1000+8*i, i*i+1)
+	}
+	m.Write64(0x4000_0000, 0xdeadbeef)
+	before := m.Hash()
+	beforeBytes := m.ReadBytes(0x1000, 64*8)
+
+	c := m.Snapshot()
+	// Overwrite existing pages, allocate a brand-new page, and do a
+	// cross-page byte write.
+	for i := uint64(0); i < 64; i++ {
+		m.Write64(0x1000+8*i, ^uint64(0))
+	}
+	m.Write64(0x9000_0000, 7)          // fresh page inside the region
+	m.Store8(0x4000_0000, 0xff)        // byte store on existing page
+	m.Copy(0x2000, 0x1000, 128)        // Copy path
+	m.WriteBytes(0x3000, []byte{1, 2}) // WriteBytes path
+	if m.Hash() == before {
+		t.Fatal("writes inside region did not change hash")
+	}
+	c.Restore()
+
+	if got := m.Hash(); got != before {
+		t.Fatalf("hash after restore = %#x, want %#x", got, before)
+	}
+	if got := m.ReadBytes(0x1000, 64*8); string(got) != string(beforeBytes) {
+		t.Fatal("page contents differ after restore")
+	}
+	if got := m.Read64(0x9000_0000); got != 0 {
+		t.Fatalf("region-allocated page not restored to zero: %#x", got)
+	}
+	if got := m.Read64(0x4000_0000); got != 0xdeadbeef {
+		t.Fatalf("byte-store page not restored: %#x", got)
+	}
+}
+
+// TestCheckpointDiscardKeepsWrites verifies Discard keeps every write
+// made since Snapshot.
+func TestCheckpointDiscardKeepsWrites(t *testing.T) {
+	m := NewMemory()
+	m.Write64(0x1000, 1)
+	c := m.Snapshot()
+	m.Write64(0x1000, 2)
+	m.Write64(0x2000, 3)
+	c.Discard()
+	if got := m.Read64(0x1000); got != 2 {
+		t.Fatalf("Read64(0x1000) = %d after Discard, want 2", got)
+	}
+	if got := m.Read64(0x2000); got != 3 {
+		t.Fatalf("Read64(0x2000) = %d after Discard, want 3", got)
+	}
+	// The checkpoint must fully release: a new snapshot works.
+	m.Snapshot().Discard()
+}
+
+// TestCheckpointCostIsDirtyPages verifies the undo log is proportional
+// to pages dirtied inside the region, not the resident set, and that
+// repeated writes to the same page save it once.
+func TestCheckpointCostIsDirtyPages(t *testing.T) {
+	m := NewMemory()
+	for i := uint64(0); i < 1024; i++ { // 1024 resident pages
+		m.Write64(i<<pageShift, i+1)
+	}
+	c := m.Snapshot()
+	for j := 0; j < 100; j++ { // many writes, 3 distinct pages
+		m.Write64(0<<pageShift, uint64(j))
+		m.Write64(5<<pageShift, uint64(j))
+		m.Write64(9<<pageShift, uint64(j))
+	}
+	if got := c.Pages(); got != 3 {
+		t.Fatalf("checkpoint saved %d pages, want 3", got)
+	}
+	c.Restore()
+}
+
+// TestCheckpointConcurrentFirstWrites races many views' first writes —
+// both to disjoint pages and to disjoint words of shared pages — under
+// an active checkpoint, then restores and checks exactness. Exercised
+// by the -race CI job.
+func TestCheckpointConcurrentFirstWrites(t *testing.T) {
+	m := NewMemory()
+	const workers = 8
+	const pages = 64
+	for i := uint64(0); i < pages; i++ {
+		m.Write64(i<<pageShift, i+100)
+	}
+	before := m.Hash()
+
+	c := m.Snapshot()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := m.NewView()
+			for i := uint64(0); i < pages; i++ {
+				// Disjoint words of every shared page: all workers race
+				// to be the page's first writer.
+				v.Write64(i<<pageShift+uint64(8+8*w), uint64(w)<<32|i)
+			}
+			// And a worker-private fresh page.
+			v.Write64((pages+uint64(w))<<pageShift, uint64(w))
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Pages(); got != pages+workers {
+		t.Fatalf("checkpoint saved %d pages, want %d", got, pages+workers)
+	}
+	c.Restore()
+	if got := m.Hash(); got != before {
+		t.Fatalf("hash after concurrent restore = %#x, want %#x", got, before)
+	}
+	for i := uint64(0); i < pages; i++ {
+		if got := m.Read64(i << pageShift); got != i+100 {
+			t.Fatalf("page %d word = %d, want %d", i, got, i+100)
+		}
+	}
+}
+
+// TestCheckpointNestedPanics pins the single-active-checkpoint
+// contract.
+func TestCheckpointNestedPanics(t *testing.T) {
+	m := NewMemory()
+	c := m.Snapshot()
+	defer c.Discard()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested Snapshot did not panic")
+		}
+	}()
+	m.Snapshot()
+}
+
+// TestWriteNoCheckpointAllocs guards the store fast path: with no
+// checkpoint active, Write64 must not allocate (the touch hook is a
+// plain pointer load).
+func TestWriteNoCheckpointAllocs(t *testing.T) {
+	m := NewMemory()
+	m.Write64(0x1000, 1)
+	if n := testing.AllocsPerRun(100, func() {
+		m.Write64(0x1000, 42)
+	}); n != 0 {
+		t.Fatalf("Write64 allocated %.1f times per op with no checkpoint", n)
+	}
+}

@@ -58,6 +58,9 @@ type page struct {
 	digest  uint64
 	nonzero bool
 	dirty   atomic.Uint32
+	// snapEpoch is the checkpoint epoch this page was last saved under
+	// (see checkpoint.go); stale values never match a live checkpoint.
+	snapEpoch atomic.Uint64
 }
 
 // markDirty invalidates the cached digest. The common case (page
@@ -122,6 +125,15 @@ type Memory struct {
 	// view is the default single-threaded access port used by Memory's
 	// own methods.
 	view MemView
+
+	// ckpt is the active region checkpoint, or nil. Deliberately a plain
+	// pointer: it flips only on the orchestrating goroutine while no
+	// guest thread runs (before spawn / after join), so store fast paths
+	// read it without atomics (see checkpoint.go).
+	ckpt *Checkpoint
+	// ckptEpoch numbers checkpoints so page stamps from released
+	// checkpoints never alias a live one.
+	ckptEpoch uint64
 }
 
 // NewMemory returns an empty address space.
@@ -257,6 +269,20 @@ func (v *MemView) walk(key uint64, create bool) *page {
 	return p
 }
 
+// touchCkpt is the checkpointed store path: save the pre-write page
+// image, then invalidate the cached digest as usual. Every store path
+// must run this before mutating p's data when a checkpoint is active.
+// The hook is open-coded at each store site (ckpt nil-check + else
+// markDirty) rather than wrapped in a helper: a wrapper containing
+// this call exceeds the inlining budget, and the store fast paths are
+// themselves too big to inline, so a helper would put a real function
+// call on every store. Open-coded, the no-checkpoint cost is one
+// plain pointer load and a predicted branch.
+func (v *MemView) touchCkpt(p *page) {
+	v.mem.ckpt.save(p)
+	p.markDirty()
+}
+
 // Load8 returns the byte at addr.
 func (v *MemView) Load8(addr uint64) byte {
 	p := v.find(addr)
@@ -269,7 +295,11 @@ func (v *MemView) Load8(addr uint64) byte {
 // Store8 sets the byte at addr.
 func (v *MemView) Store8(addr uint64, b byte) {
 	p := v.ensure(addr)
-	p.markDirty()
+	if v.mem.ckpt != nil {
+		v.touchCkpt(p)
+	} else {
+		p.markDirty()
+	}
 	p.data[addr&pageMask] = b
 }
 
@@ -296,7 +326,11 @@ func (v *MemView) read64Cross(addr uint64) uint64 {
 func (v *MemView) Write64(addr uint64, x uint64) {
 	if off := addr & pageMask; off <= pageSize-8 {
 		p := v.ensure(addr)
-		p.markDirty()
+		if v.mem.ckpt != nil {
+			v.touchCkpt(p)
+		} else {
+			p.markDirty()
+		}
 		binary.LittleEndian.PutUint64(p.data[off:off+8], x)
 		return
 	}
@@ -314,7 +348,11 @@ func (v *MemView) write64Cross(addr uint64, x uint64) {
 func (v *MemView) WriteBytes(addr uint64, b []byte) {
 	for len(b) > 0 {
 		p := v.ensure(addr)
-		p.markDirty()
+		if v.mem.ckpt != nil {
+			v.touchCkpt(p)
+		} else {
+			p.markDirty()
+		}
 		n := copy(p.data[addr&pageMask:], b)
 		b = b[n:]
 		addr += uint64(n)
@@ -354,7 +392,11 @@ func (v *MemView) Copy(dst, src uint64, n int) {
 			span = n
 		}
 		dp := v.ensure(dst)
-		dp.markDirty()
+		if v.mem.ckpt != nil {
+			v.touchCkpt(dp)
+		} else {
+			dp.markDirty()
+		}
 		do := dst & pageMask
 		if sp := v.find(src); sp != nil {
 			copy(dp.data[do:int(do)+span], sp.data[src&pageMask:])

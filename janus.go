@@ -23,6 +23,7 @@ import (
 
 	"janus/internal/analyzer"
 	"janus/internal/dbm"
+	"janus/internal/faultinject"
 	"janus/internal/obj"
 	"janus/internal/rules"
 	"janus/internal/vm"
@@ -64,6 +65,18 @@ type Config struct {
 	// Verify compares the DBM run's outputs and memory against native
 	// execution and fails on mismatch (default true via Parallelise).
 	Verify bool
+	// Inject arms deterministic fault injection inside the DBM's
+	// speculative region engines (see internal/faultinject). Injected
+	// faults are recovered by re-executing the region round-robin, so
+	// results — and Verify — are unaffected; Stats.ParRecoveries
+	// records that the recovery path ran. Nil disables injection at
+	// zero cost.
+	Inject *faultinject.Plan
+	// OnStats, when non-nil, receives the final DBM stats of the
+	// parallelised run (before verification). It lets callers observe
+	// recovery counters (ParRecoveries, DemotedLoops) without plumbing
+	// them through every figure's return value.
+	OnStats func(dbm.Stats)
 }
 
 // Report is the outcome of a full Janus run.
@@ -145,6 +158,7 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 	dcfg := dbm.DefaultConfig(cfg.Threads)
 	dcfg.HostParallel = !cfg.SingleGoroutine
 	dcfg.WorkStealing = !cfg.StaticPartition
+	dcfg.Inject = cfg.Inject
 	if cfg.Cost != nil {
 		dcfg.Cost = *cfg.Cost
 	}
@@ -155,6 +169,9 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 	res, err := ex.Run()
 	if err != nil {
 		return nil, fmt.Errorf("janus: DBM run: %w", err)
+	}
+	if cfg.OnStats != nil {
+		cfg.OnStats(res.Stats)
 	}
 
 	if cfg.Verify {
