@@ -22,6 +22,13 @@
 //	                                     Spec: point[@every][#seed], point
 //	                                     one of scan-defeat, worker-panic,
 //	                                     stall, budget
+//	janus-bench -gen-corpus 50           screen 50 generated kernels with
+//	                                     the differential oracle and
+//	                                     graduate interesting ones into
+//	                                     the benchmark corpus for this
+//	                                     run (figures gain gen/* rows;
+//	                                     default output is unchanged when
+//	                                     the flag is absent)
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"os"
 
 	"janus/internal/faultinject"
+	"janus/internal/genkern"
 	"janus/internal/harness"
 )
 
@@ -43,6 +51,7 @@ func main() {
 	steal := flag.Bool("steal", !def.StaticPartition, "balance host-parallel regions with the work-stealing partitioner; false forces static equal chunking (figure/table outputs are bit-identical either way)")
 	engineJSON := flag.String("engine-json", "", "run the execution-engine micro-benchmarks and write a JSON perf snapshot to this path")
 	inject := flag.String("inject", "", "arm deterministic fault injection in speculative regions, spec point[@every][#seed] with point one of scan-defeat, worker-panic, stall, budget (recovery keeps stdout byte-identical; summary on stderr)")
+	genCorpus := flag.Int("gen-corpus", 0, "screen N seeded generated kernels against the differential oracle and graduate interesting ones into this run's benchmark corpus (0 = off; the default suite and its golden output are unchanged)")
 	flag.Parse()
 
 	opts := harness.Options{
@@ -61,6 +70,16 @@ func main() {
 	if *engineJSON != "" {
 		exitOn(writeEngineSnapshot(*engineJSON, opts))
 		return
+	}
+
+	if *genCorpus > 0 {
+		// Graduation happens before rendering so the figures below
+		// include the gen/* rows; a lattice violation (soundness bug)
+		// aborts with the failing seed's repro command.
+		entries, err := genkern.Graduate(*genCorpus, opts.Threads)
+		exitOn(err)
+		fmt.Print(genkern.RenderCorpus(entries, *genCorpus))
+		fmt.Println()
 	}
 
 	out, err := harness.RenderAll(opts, *fig, *table)

@@ -1,0 +1,266 @@
+package alias
+
+import (
+	"testing"
+
+	"janus/internal/guest"
+	"janus/internal/sym"
+)
+
+// TestOverlap pins the half-open interval semantics of the byte-range
+// overlap test: adjacent ranges never alias, any shared byte does.
+func TestOverlap(t *testing.T) {
+	tests := []struct {
+		name         string
+		a, wa, b, wb int64
+		want         bool
+	}{
+		{"identical", 0, 8, 0, 8, true},
+		{"contained", 0, 32, 8, 8, true},
+		{"partial", 0, 8, 4, 8, true},
+		{"adjacent-right", 0, 8, 8, 8, false},
+		{"adjacent-left", 8, 8, 0, 8, false},
+		{"disjoint", 0, 8, 64, 8, false},
+		{"one-byte-shared", 0, 9, 8, 8, true},
+		{"negative-offsets", -16, 8, -12, 8, true},
+		{"negative-disjoint", -16, 8, -8, 8, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := overlap(tc.a, tc.wa, tc.b, tc.wb); got != tc.want {
+				t.Errorf("overlap(%d,%d,%d,%d) = %v, want %v", tc.a, tc.wa, tc.b, tc.wb, got, tc.want)
+			}
+		})
+	}
+}
+
+func acc(off, stride int64, write bool) sym.Access {
+	return sym.Access{Write: write, Width: 8, Addr: sym.Expr{Const: off, Iter: stride}}
+}
+
+// TestCrossIterDep tables the distance test over accesses sharing one
+// symbolic base: constant distances inside and outside the iteration
+// space, unaligned partial overlap, same-cell accumulators, and the
+// conservative mixed/unknown-stride fallbacks.
+func TestCrossIterDep(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b sym.Access
+		trip int64
+		want bool
+		kind string
+	}{
+		// a[i] written, a[i+1] read: distance-1 flow dependence.
+		{"distance-1", acc(0, 8, true), acc(8, 8, false), 256, true, "distance"},
+		// Distance 8 within a 256-iteration space.
+		{"distance-8", acc(0, 8, true), acc(64, 8, false), 256, true, "distance"},
+		// The dependence distance equals the trip count: never realised.
+		{"distance-beyond-trip", acc(0, 8, true), acc(8*6, 8, false), 6, false, ""},
+		// Unaligned 4-byte offset still lands inside the 8-byte write.
+		{"unaligned-partial", acc(0, 8, true), acc(4, 8, false), 256, true, "distance"},
+		// Stride 16 with offset 8: the odd words are never written.
+		{"interleaved-disjoint", acc(0, 16, true), acc(8, 16, false), 256, false, ""},
+		// Same scalar cell written every iteration.
+		{"same-cell", acc(0, 0, true), acc(0, 0, false), 256, true, "same-cell"},
+		{"distinct-cells", acc(0, 0, true), acc(8, 0, false), 256, false, ""},
+		// Zero-stride cell against a sweeping write: conservative.
+		{"mixed-stride", acc(0, 0, true), acc(0, 8, false), 256, true, "mixed-stride"},
+		// Differing nonzero strides: conservative unknown.
+		{"unknown-stride", acc(0, 8, true), acc(0, 16, false), 256, true, "unknown-stride"},
+		// Unknown trip count: distance deps must still be found.
+		{"distance-unknown-trip", acc(0, 8, true), acc(8, 8, false), -1, true, "distance"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, kind := crossIterDep(tc.a, tc.b, tc.trip)
+			if got != tc.want || kind != tc.kind {
+				t.Errorf("crossIterDep = (%v, %q), want (%v, %q)", got, kind, tc.want, tc.kind)
+			}
+		})
+	}
+}
+
+// TestSweptDisjoint covers whole-iteration-space footprint separation:
+// adjacent array footprints, overlapping sweeps, negative strides, and
+// the unknown-trip conservatism.
+func TestSweptDisjoint(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b sym.Access
+		trip int64
+		want bool
+	}{
+		// Two 64-element arrays side by side, both swept: adjacent.
+		{"adjacent-arrays", acc(0, 8, true), acc(64*8, 8, false), 64, true},
+		// The second array starts one element early: one shared word.
+		{"one-word-overlap", acc(0, 8, true), acc(63*8, 8, false), 64, false},
+		// Negative stride sweeping down into the other range.
+		{"negative-stride-overlap", acc(64*8, -8, true), acc(0, 8, false), 64, false},
+		// Scalar cell beyond the swept range.
+		{"cell-past-sweep", acc(0, 8, true), acc(64*8, 0, false), 64, true},
+		// Unknown trip: a strided access could reach anything.
+		{"unknown-trip", acc(0, 8, true), acc(1<<20, 0, false), -1, false},
+		// Unknown trip but both stride-0: plain interval test.
+		{"unknown-trip-cells", acc(0, 0, true), acc(8, 0, false), -1, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := sweptDisjoint(tc.a, tc.b, tc.trip); got != tc.want {
+				t.Errorf("sweptDisjoint = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func symAcc(base guest.Reg, off, stride int64, write bool) sym.Access {
+	return sym.Access{Write: write, Width: 8, Addr: sym.Expr{
+		Regs:  map[guest.Reg]int64{base: 1},
+		Const: off,
+		Iter:  stride,
+	}}
+}
+
+func analysisWith(trip int64, accs ...sym.Access) *sym.Analysis {
+	la := &sym.Analysis{Accesses: accs}
+	if trip > 0 {
+		la.Trip = &sym.Trip{Num: sym.ConstExpr(trip), Den: 1}
+	}
+	return la
+}
+
+// TestAnalyzeConstantBases drives the full Analyze pass over
+// constant-base (symbol+offset) access patterns: overlapping ranges
+// prove a dependence, adjacent ranges prove independence, and neither
+// needs a runtime check.
+func TestAnalyzeConstantBases(t *testing.T) {
+	const n = 64
+	t.Run("adjacent-no-alias", func(t *testing.T) {
+		res := Analyze(analysisWith(n,
+			acc(0, 8, true),     // write a[i], a at offset 0
+			acc(n*8, 8, false))) // read  b[i], b adjacent after a
+		if len(res.Deps) != 0 {
+			t.Errorf("adjacent constant arrays produced deps: %v", res.Deps)
+		}
+		if len(res.Checks) != 0 || res.CheckFailed {
+			t.Errorf("constant bases must not need runtime checks: %d checks, failed=%v", len(res.Checks), res.CheckFailed)
+		}
+	})
+	t.Run("overlapping-must-alias", func(t *testing.T) {
+		res := Analyze(analysisWith(n,
+			acc(0, 8, true),         // write a[i]
+			acc((n-1)*8, 8, false))) // read starting at a's last word
+		if len(res.Deps) == 0 {
+			t.Error("overlapping constant ranges produced no dependence")
+		}
+	})
+	t.Run("same-array-distance", func(t *testing.T) {
+		res := Analyze(analysisWith(n,
+			acc(8, 8, true),   // write a[i+1]
+			acc(0, 8, false))) // read a[i]
+		if len(res.Deps) == 0 {
+			t.Fatal("distance-1 stencil produced no dependence")
+		}
+		if res.Deps[0].Kind != "distance" {
+			t.Errorf("dep kind %q, want distance", res.Deps[0].Kind)
+		}
+	})
+	t.Run("read-only", func(t *testing.T) {
+		res := Analyze(analysisWith(n, acc(0, 8, false), acc(8, 8, false)))
+		if len(res.Deps) != 0 || len(res.Checks) != 0 {
+			t.Error("read-only loop must have no deps and no checks")
+		}
+	})
+}
+
+// TestAnalyzeSymbolicBases drives Analyze over register-symbolic bases
+// — the may-alias shapes that need runtime MEM_BOUNDS_CHECK ranges —
+// including the failure modes where no check can be constructed.
+func TestAnalyzeSymbolicBases(t *testing.T) {
+	const n = 64
+	t.Run("two-bases-checked", func(t *testing.T) {
+		res := Analyze(analysisWith(n,
+			symAcc(guest.R8, 0, 8, false),
+			symAcc(guest.R9, 0, 8, true)))
+		if len(res.Deps) != 0 {
+			t.Errorf("distinct symbolic bases are not a static dep: %v", res.Deps)
+		}
+		if res.CheckFailed {
+			t.Fatal("checks unexpectedly failed")
+		}
+		if len(res.Checks) != 2 {
+			t.Fatalf("got %d check ranges, want 2 (one per group)", len(res.Checks))
+		}
+		var wrote, read bool
+		for _, c := range res.Checks {
+			if c.Write {
+				wrote = true
+				if c.Base.Regs[guest.R9] != 1 {
+					t.Errorf("write range base %v, want R9", c.Base)
+				}
+			} else {
+				read = true
+			}
+			if c.LoOff != 0 || c.HiOff != 8 {
+				t.Errorf("range offsets [%d,%d), want [0,8)", c.LoOff, c.HiOff)
+			}
+			if c.Stride != 8 {
+				t.Errorf("range stride %d, want 8", c.Stride)
+			}
+		}
+		if !wrote || !read {
+			t.Errorf("check set missing write/read range: wrote=%v read=%v", wrote, read)
+		}
+	})
+	t.Run("same-base-offset-stencil", func(t *testing.T) {
+		// One symbolic array, write at [R8+8i+8], read at [R8+8i]: the
+		// offsets prove a distance-1 dependence without knowing R8.
+		res := Analyze(analysisWith(n,
+			symAcc(guest.R8, 8, 8, true),
+			symAcc(guest.R8, 0, 8, false)))
+		if len(res.Deps) == 0 {
+			t.Fatal("symbol-offset stencil produced no dependence")
+		}
+		if len(res.Checks) != 0 {
+			t.Errorf("single-group loop needs no cross-group checks, got %d", len(res.Checks))
+		}
+	})
+	t.Run("unknown-trip-check-failed", func(t *testing.T) {
+		res := Analyze(analysisWith(0, // no trip count
+			symAcc(guest.R8, 0, 8, false),
+			symAcc(guest.R9, 0, 8, true)))
+		if !res.CheckFailed {
+			t.Error("unbounded trip must fail check construction")
+		}
+		if len(res.Checks) != 0 {
+			t.Errorf("failed check construction still emitted %d ranges", len(res.Checks))
+		}
+	})
+	t.Run("non-uniform-stride-check-failed", func(t *testing.T) {
+		res := Analyze(analysisWith(n,
+			symAcc(guest.R8, 0, 8, true),
+			symAcc(guest.R8, 0, 16, false),
+			symAcc(guest.R9, 0, 8, false)))
+		if !res.CheckFailed {
+			t.Error("mixed strides within a group must fail check construction")
+		}
+	})
+	t.Run("unanalyzable-access", func(t *testing.T) {
+		res := Analyze(analysisWith(n,
+			sym.Access{Write: true, Width: 8, Addr: sym.UnknownExpr()},
+			acc(0, 8, false)))
+		if len(res.Unanalyzable) != 1 {
+			t.Errorf("got %d unanalyzable accesses, want 1", len(res.Unanalyzable))
+		}
+	})
+	t.Run("stack-reads", func(t *testing.T) {
+		res := Analyze(analysisWith(n,
+			sym.Access{Width: 8, Addr: sym.Expr{Regs: map[guest.Reg]int64{guest.SP: 1}, Const: 16}},
+			acc(0, 8, true)))
+		if len(res.MainStackReads) != 1 {
+			t.Errorf("got %d main-stack reads, want 1", len(res.MainStackReads))
+		}
+		if len(res.Checks) != 0 {
+			t.Errorf("read-only stack group must not join the check set, got %d ranges", len(res.Checks))
+		}
+	})
+}

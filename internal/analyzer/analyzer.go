@@ -100,6 +100,14 @@ type Program struct {
 	Loops []*LoopInfo
 	// byLoop maps cfg loops to their info records.
 	byLoop map[*cfg.Loop]*LoopInfo
+
+	// UnknownProfileIDs counts profile records whose loop ID resolved
+	// to no analysed loop when applied via ApplyCoverage/
+	// ApplyExclCoverage/ApplyAvgIters/ApplyDependences. Profiles are
+	// keyed by deterministic layout-derived IDs, so a nonzero count
+	// means the train and ref builds skewed — silently dropping the
+	// records would hide exactly that bug.
+	UnknownProfileIDs int
 }
 
 // Analyze runs the full static analysis over exe.
@@ -274,40 +282,54 @@ func (p *Program) calleePure(fn *cfg.Func) bool {
 }
 
 // ApplyCoverage installs profiled loop coverage fractions (loop ID ->
-// fraction of dynamic instructions).
+// fraction of dynamic instructions). Records naming loop IDs outside
+// the program are counted in UnknownProfileIDs.
 func (p *Program) ApplyCoverage(cov map[int]float64) {
 	for id, f := range cov {
-		if li := p.LoopByID(id); li != nil {
-			li.Coverage = f
+		li := p.LoopByID(id)
+		if li == nil {
+			p.UnknownProfileIDs++
+			continue
 		}
+		li.Coverage = f
 	}
 }
 
 // ApplyExclCoverage installs innermost-attributed coverage fractions.
+// Unknown loop IDs are counted in UnknownProfileIDs.
 func (p *Program) ApplyExclCoverage(cov map[int]float64) {
 	for id, f := range cov {
-		if li := p.LoopByID(id); li != nil {
-			li.ExclCoverage = f
+		li := p.LoopByID(id)
+		if li == nil {
+			p.UnknownProfileIDs++
+			continue
 		}
+		li.ExclCoverage = f
 	}
 }
 
 // ApplyAvgIters installs profiled mean iterations per invocation.
+// Unknown loop IDs are counted in UnknownProfileIDs.
 func (p *Program) ApplyAvgIters(avg map[int]float64) {
 	for id, a := range avg {
-		if li := p.LoopByID(id); li != nil {
-			li.AvgIter = a
+		li := p.LoopByID(id)
+		if li == nil {
+			p.UnknownProfileIDs++
+			continue
 		}
+		li.AvgIter = a
 	}
 }
 
 // ApplyDependences installs dependence-profiling outcomes: loops whose
 // profiled runs exhibited a cross-iteration dependence become type D,
-// the rest of the ambiguous set is confirmed type C.
+// the rest of the ambiguous set is confirmed type C. Unknown loop IDs
+// are counted in UnknownProfileIDs.
 func (p *Program) ApplyDependences(observed map[int]bool) {
 	for id, dep := range observed {
 		li := p.LoopByID(id)
 		if li == nil {
+			p.UnknownProfileIDs++
 			continue
 		}
 		li.DepProfiled = true

@@ -1,0 +1,45 @@
+package analyzer
+
+import "testing"
+
+// TestApplyUnknownProfileIDs pins the unknown-loop-ID contract of the
+// profile-application entry points: records naming IDs outside the
+// program are counted in UnknownProfileIDs (never silently dropped),
+// while valid records still apply.
+func TestApplyUnknownProfileIDs(t *testing.T) {
+	exe := buildMixed(t)
+	p, err := Analyze(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Loops) == 0 {
+		t.Fatal("no loops analysed")
+	}
+	valid := p.Loops[0].ID
+	const bogus = 9999
+	if p.LoopByID(bogus) != nil {
+		t.Fatalf("loop ID %d unexpectedly exists", bogus)
+	}
+
+	p.ApplyCoverage(map[int]float64{valid: 0.5, bogus: 0.25})
+	p.ApplyExclCoverage(map[int]float64{valid: 0.4, bogus: 0.25})
+	p.ApplyAvgIters(map[int]float64{valid: 128, bogus: 64})
+	p.ApplyDependences(map[int]bool{valid: false, bogus: true})
+
+	if p.UnknownProfileIDs != 4 {
+		t.Errorf("UnknownProfileIDs = %d, want 4 (one per Apply call)", p.UnknownProfileIDs)
+	}
+	li := p.LoopByID(valid)
+	if li.Coverage != 0.5 || li.ExclCoverage != 0.4 || li.AvgIter != 128 {
+		t.Errorf("valid record not applied: cov=%v excl=%v avg=%v", li.Coverage, li.ExclCoverage, li.AvgIter)
+	}
+	if !li.DepProfiled || li.ObservedDep {
+		t.Errorf("valid dependence record not applied: profiled=%v observed=%v", li.DepProfiled, li.ObservedDep)
+	}
+
+	// Negative IDs are equally unknown.
+	p.ApplyCoverage(map[int]float64{-1: 0.1})
+	if p.UnknownProfileIDs != 5 {
+		t.Errorf("UnknownProfileIDs = %d after negative-ID record, want 5", p.UnknownProfileIDs)
+	}
+}

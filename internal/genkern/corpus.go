@@ -1,0 +1,100 @@
+package genkern
+
+import (
+	"fmt"
+	"strings"
+
+	"janus/internal/obj"
+	"janus/internal/workloads"
+)
+
+// Entry is one screened kernel considered for corpus graduation.
+type Entry struct {
+	Seed   uint64
+	Name   string
+	Report *Report
+	// Parallelisable marks kernels whose loops were actually selected
+	// (they join the figure-7 row set when registered).
+	Parallelisable bool
+
+	kern *Kernel
+}
+
+// Screen generates seeds 1..n, runs the full differential oracle on
+// each (any lattice violation is a hard error carrying a repro
+// command), and returns the kernels worth graduating: shapes where the
+// pipeline had to work for its verdict — observed dependences,
+// unclosable checks, missed parallelisations, runtime check failures,
+// sequential fallbacks.
+func Screen(n, threads int) ([]Entry, error) {
+	var out []Entry
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		k, err := Generate(seed)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := RunDiff(k, Options{Threads: threads})
+		if err != nil {
+			return nil, err
+		}
+		if len(rep.Interesting) == 0 {
+			continue
+		}
+		out = append(out, Entry{
+			Seed:           seed,
+			Name:           k.Name,
+			Report:         rep,
+			Parallelisable: rep.Selected > 0,
+			kern:           k,
+		})
+	}
+	return out, nil
+}
+
+// Register graduates the entry into the benchmark suite: subsequent
+// workloads.Names()/Build() calls include it, so every figure covers
+// the generated shape too.
+func (e Entry) Register() error {
+	k := e.kern
+	if k == nil {
+		return fmt.Errorf("genkern: entry %q was not produced by Screen", e.Name)
+	}
+	return workloads.RegisterGenerated(e.Name, e.Parallelisable, func(in workloads.Input) (*obj.Executable, []*obj.Library, error) {
+		if in == workloads.Train {
+			return k.Train, k.Libs, nil
+		}
+		return k.Ref, k.Libs, nil
+	})
+}
+
+// Graduate screens seeds 1..n and registers every interesting kernel,
+// returning the graduated entries.
+func Graduate(n, threads int) ([]Entry, error) {
+	entries, err := Screen(n, threads)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if err := e.Register(); err != nil {
+			return nil, err
+		}
+	}
+	return entries, nil
+}
+
+// RenderCorpus formats the graduation summary janus-bench prints
+// before the figures when -gen-corpus is set.
+func RenderCorpus(entries []Entry, screened int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Generated corpus: %d seeds screened, %d kernels graduated\n", screened, len(entries))
+	fmt.Fprintf(&b, "  %-12s %5s %8s %8s  %s\n", "name", "loops", "selected", "par", "why")
+	for _, e := range entries {
+		par := "no"
+		if e.Parallelisable {
+			par = "yes"
+		}
+		fmt.Fprintf(&b, "  %-12s %5d %8d %8s  %s\n",
+			e.Name, len(e.Report.Loops), e.Report.Selected, par, strings.Join(e.Report.Interesting, ","))
+	}
+	return b.String()
+}

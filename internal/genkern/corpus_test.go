@@ -1,0 +1,126 @@
+package genkern
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"janus/internal/workloads"
+)
+
+// baselineNames snapshots the workload registry at process start —
+// before any test can graduate generated kernels — so these guards are
+// immune to -shuffle ordering.
+var baselineNames = workloads.Names()
+
+// TestDefaultSuiteUnchangedByGenerator is the golden-fixture guard:
+// the generator's presence (this package being linked and its tests
+// running) must not change the default benchmark suite, and the
+// golden janus-bench output must contain no generated rows. Generated
+// kernels appear only behind janus-bench -gen-corpus / an explicit
+// Register call.
+func TestDefaultSuiteUnchangedByGenerator(t *testing.T) {
+	if len(baselineNames) != 25 {
+		t.Fatalf("default registry has %d benchmarks, want 25: %v", len(baselineNames), baselineNames)
+	}
+	for _, name := range baselineNames {
+		if strings.HasPrefix(name, "gen/") {
+			t.Fatalf("generated benchmark %q present in the default registry", name)
+		}
+	}
+	gold, err := os.ReadFile("../harness/testdata/janus-bench.golden")
+	if err != nil {
+		t.Fatalf("golden fixture: %v", err)
+	}
+	if strings.Contains(string(gold), "gen/") {
+		t.Fatal("golden janus-bench fixture contains generated-corpus rows")
+	}
+}
+
+// TestScreenAndGraduate exercises the -gen-corpus path end to end:
+// screening finds interesting kernels, graduation registers them into
+// the workload suite, and the registered builds hand back the
+// generated executables.
+func TestScreenAndGraduate(t *testing.T) {
+	const n = 24
+	entries, err := Graduate(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no kernel in %d seeds was interesting enough to graduate", n)
+	}
+	genNames := workloads.GeneratedNames()
+	for _, e := range entries {
+		found := false
+		for _, name := range genNames {
+			if name == e.Name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("graduated %s missing from workloads.GeneratedNames()", e.Name)
+		}
+		bm, ok := workloads.ByName(e.Name)
+		if !ok {
+			t.Fatalf("graduated %s not resolvable via ByName", e.Name)
+		}
+		if bm.Parallelisable != e.Parallelisable {
+			t.Errorf("%s: parallelisable flag %v, want %v", e.Name, bm.Parallelisable, e.Parallelisable)
+		}
+		exe, _, err := workloads.Build(e.Name, workloads.Ref, workloads.O2)
+		if err != nil {
+			t.Fatalf("build %s: %v", e.Name, err)
+		}
+		if exe != e.kern.Ref {
+			t.Errorf("%s: Build(Ref) did not return the generated ref executable", e.Name)
+		}
+		trainExe, _, err := workloads.Build(e.Name, workloads.Train, workloads.O2)
+		if err != nil {
+			t.Fatalf("build %s train: %v", e.Name, err)
+		}
+		if trainExe != e.kern.Train {
+			t.Errorf("%s: Build(Train) did not return the generated train executable", e.Name)
+		}
+	}
+	// Names() lists the static registry first, then graduations.
+	all := workloads.Names()
+	if len(all) < len(baselineNames)+len(entries) {
+		t.Errorf("Names() has %d entries, want at least %d", len(all), len(baselineNames)+len(entries))
+	}
+	// The render summary names every graduated kernel and the screen
+	// count.
+	out := RenderCorpus(entries, n)
+	if !strings.Contains(out, "24 seeds screened") {
+		t.Errorf("corpus summary missing screen count:\n%s", out)
+	}
+	for _, e := range entries {
+		if !strings.Contains(out, e.Name) {
+			t.Errorf("corpus summary missing %s:\n%s", e.Name, out)
+		}
+	}
+	// Re-registration must be rejected, not silently duplicated.
+	if err := entries[0].Register(); err == nil {
+		t.Error("duplicate graduation of the same kernel did not error")
+	}
+	// The parallelisable set must include graduated parallel kernels.
+	if func() bool {
+		for _, e := range entries {
+			if e.Parallelisable {
+				return true
+			}
+		}
+		return false
+	}() {
+		par := workloads.ParallelisableNames()
+		found := false
+		for _, name := range par {
+			if strings.HasPrefix(name, "gen/") {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("no graduated kernel in ParallelisableNames() despite parallelisable entries")
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package stm
+
+import (
+	"testing"
+
+	"janus/internal/vm"
+)
+
+// The wordmap backing the read/write sets starts at 64 slots and grows
+// at 50% load, so the first rehash happens on the 32nd distinct word
+// and the second on the 64th. The abort-path tests straddle those
+// boundaries: a conflict recorded before a growth must still fail
+// validation after the rehash, and buffered writes must survive it.
+var growthStraddle = []int{31, 32, 33, 63, 64, 65}
+
+// TestAbortAcrossTableGrowth forces a read-set conflict at each
+// table-growth boundary: the conflicting word is recorded first, the
+// read set is then grown past one (or two) rehashes, and validation
+// must still see the stale value and abort.
+func TestAbortAcrossTableGrowth(t *testing.T) {
+	for _, n := range growthStraddle {
+		for _, victim := range []int{0, n / 2, n - 1} {
+			mem := vm.NewMemory()
+			for i := 0; i < n; i++ {
+				mem.Write64(uint64(i)*8, uint64(i)+1)
+			}
+			tx := Begin(mem, Checkpoint{})
+			for i := 0; i < n; i++ {
+				if got := tx.Read64(uint64(i) * 8); got != uint64(i)+1 {
+					t.Fatalf("n=%d: read %d at word %d", n, got, i)
+				}
+			}
+			if tx.ReadSetSize() != n {
+				t.Fatalf("n=%d: read set size %d", n, tx.ReadSetSize())
+			}
+			if !tx.Validate() {
+				t.Fatalf("n=%d: unconflicted transaction failed validation", n)
+			}
+			// Another thread clobbers one recorded word.
+			mem.Write64(uint64(victim)*8, 0xdead)
+			if tx.Validate() {
+				t.Errorf("n=%d victim=%d: conflict lost across table growth", n, victim)
+			}
+		}
+	}
+}
+
+// TestWriteSetSurvivesTableGrowth buffers enough distinct stores to
+// cross the growth boundaries and checks that commit replays every one
+// with its latest value — no entry lost or duplicated by the rehash.
+func TestWriteSetSurvivesTableGrowth(t *testing.T) {
+	for _, n := range growthStraddle {
+		mem := vm.NewMemory()
+		tx := Begin(mem, Checkpoint{})
+		for i := 0; i < n; i++ {
+			tx.Write64(uint64(i)*8, uint64(i)+100)
+		}
+		// Overwrite the earliest word after the growths: latest value
+		// must win without a duplicate order entry.
+		tx.Write64(0, 4242)
+		if tx.WriteSetSize() != n {
+			t.Fatalf("n=%d: write set size %d", n, tx.WriteSetSize())
+		}
+		if !tx.Validate() {
+			t.Fatalf("n=%d: write-only transaction failed validation", n)
+		}
+		tx.Commit()
+		if got := mem.Read64(0); got != 4242 {
+			t.Errorf("n=%d: overwrite lost, word 0 = %d", n, got)
+		}
+		for i := 1; i < n; i++ {
+			if got := mem.Read64(uint64(i) * 8); got != uint64(i)+100 {
+				t.Errorf("n=%d: commit lost word %d (= %d)", n, i, got)
+			}
+		}
+	}
+}
+
+// TestResetNoStaleEntries is the abort/reuse contract: after Reset the
+// transaction must carry nothing over — no stale read entries that
+// could fail validation against the new memory, no stale buffered
+// writes that could leak into the next commit or satisfy the next
+// read, and fresh counters. The transaction is first filled past both
+// growth boundaries so the kept (grown) backing arrays are the ones
+// being checked.
+func TestResetNoStaleEntries(t *testing.T) {
+	const n = 65 // past both growth boundaries
+	memA := vm.NewMemory()
+	for i := 0; i < n; i++ {
+		memA.Write64(uint64(i)*8, uint64(i)+1)
+	}
+	tx := Begin(memA, Checkpoint{PC: 0x100})
+	for i := 0; i < n; i++ {
+		_ = tx.Read64(uint64(i) * 8)
+		tx.Write64(0x10000+uint64(i)*8, 0xbad0+uint64(i))
+	}
+
+	// Abort: roll back and re-arm over a different memory.
+	memB := vm.NewMemory()
+	memB.Write64(0, 7)
+	tx.Reset(memB, Checkpoint{PC: 0x200})
+
+	if tx.ReadSetSize() != 0 || tx.WriteSetSize() != 0 {
+		t.Fatalf("sets not emptied: r=%d w=%d", tx.ReadSetSize(), tx.WriteSetSize())
+	}
+	if tx.NumReads != 0 || tx.NumWrites != 0 {
+		t.Fatalf("counters not reset: r=%d w=%d", tx.NumReads, tx.NumWrites)
+	}
+	if tx.Checkpoint().PC != 0x200 {
+		t.Fatalf("checkpoint not replaced: %+v", tx.Checkpoint())
+	}
+
+	// A stale write-buffer entry would satisfy this read instead of
+	// the new shared memory.
+	if got := tx.Read64(0x10000); got != 0 {
+		t.Errorf("stale buffered write visible after reset: %#x", got)
+	}
+	// A stale read entry (word 0 = 1 from memA) would abort against
+	// memB where the word is 7; the fresh read above re-recorded it.
+	if !tx.Validate() {
+		t.Error("stale read set failed validation after reset")
+	}
+	// Old buffered writes must not commit.
+	tx.Write64(8, 11)
+	tx.Commit()
+	if got := memB.Read64(8); got != 11 {
+		t.Fatalf("post-reset write lost: %d", got)
+	}
+	for i := 0; i < n; i++ {
+		if got := memB.Read64(0x10000 + uint64(i)*8); got != 0 {
+			t.Fatalf("stale write %d leaked into commit: %#x", i, got)
+		}
+	}
+	// And the original memory was never touched by the aborted half.
+	for i := 0; i < n; i++ {
+		if got := memA.Read64(0x10000 + uint64(i)*8); got != 0 {
+			t.Fatalf("aborted transaction mutated shared memory at word %d", i)
+		}
+	}
+}
+
+// TestResetReuseAcrossManyTransactions cycles one Tx through repeated
+// conflict/abort/reset rounds at growth-boundary sizes, mimicking the
+// DBM's steady-state reuse, and checks each round behaves like a fresh
+// transaction.
+func TestResetReuseAcrossManyTransactions(t *testing.T) {
+	mem := vm.NewMemory()
+	tx := Begin(mem, Checkpoint{})
+	for round, n := range growthStraddle {
+		base := uint64(round) << 20
+		for i := 0; i < n; i++ {
+			mem.Write64(base+uint64(i)*8, uint64(i)+1)
+		}
+		for i := 0; i < n; i++ {
+			_ = tx.Read64(base + uint64(i)*8)
+		}
+		mem.Write64(base, 0xdead)
+		if tx.Validate() {
+			t.Fatalf("round %d (n=%d): conflict missed", round, n)
+		}
+		mem.Write64(base, 1) // restore; value-based check is clean again
+		if !tx.Validate() {
+			t.Fatalf("round %d (n=%d): silent-store tolerance lost", round, n)
+		}
+		tx.Reset(mem, Checkpoint{})
+		if tx.ReadSetSize() != 0 || tx.WriteSetSize() != 0 {
+			t.Fatalf("round %d: reset left entries", round)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"janus/internal/asm"
 	"janus/internal/guest"
@@ -27,6 +28,11 @@ type Benchmark struct {
 	PaperChecks float64
 	// build emits the program. Sizes derive from input and opt.
 	build func(k *kctx, in Input)
+	// buildExt, when non-nil, supersedes build: the benchmark comes
+	// from an external generator (the graduated generative corpus),
+	// supplies its own libraries, and ignores OptLevel (generated
+	// kernels are emitted at one optimisation shape).
+	buildExt func(in Input) (*obj.Executable, []*obj.Library, error)
 }
 
 // scale maps the input set to a size multiplier.
@@ -323,19 +329,77 @@ var registry = []Benchmark{
 	},
 }
 
-// Names returns all benchmark names in evaluation order.
-func Names() []string {
-	out := make([]string, len(registry))
-	for i, b := range registry {
+// generated holds benchmarks registered at runtime (the graduated
+// generative corpus, janus-bench -gen-corpus). It is empty unless a
+// caller explicitly registers kernels, so the default suite — and the
+// golden fixture pinning its byte-exact output — is unaffected by the
+// generator's presence.
+var (
+	genMu     sync.Mutex
+	generated []Benchmark
+)
+
+// RegisterGenerated appends a generated benchmark to the evaluation
+// suite. The build callback must be deterministic; parallelisable
+// marks kernels whose loops were actually selected (they join the
+// figure-7 set). Names must be unique across the static registry and
+// prior registrations; the "gen/" prefix keeps them visually distinct.
+func RegisterGenerated(name string, parallelisable bool, build func(in Input) (*obj.Executable, []*obj.Library, error)) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("workloads: RegisterGenerated: name and build are required")
+	}
+	genMu.Lock()
+	defer genMu.Unlock()
+	if _, ok := byNameLocked(name); ok {
+		return fmt.Errorf("workloads: benchmark %q already registered", name)
+	}
+	generated = append(generated, Benchmark{
+		Name:           name,
+		Parallelisable: parallelisable,
+		buildExt:       build,
+	})
+	return nil
+}
+
+// GeneratedNames returns the registered generative-corpus benchmarks
+// in registration order.
+func GeneratedNames() []string {
+	genMu.Lock()
+	defer genMu.Unlock()
+	out := make([]string, len(generated))
+	for i, b := range generated {
 		out[i] = b.Name
 	}
 	return out
 }
 
-// ParallelisableNames returns the nine figure-7 benchmarks in order.
+// Names returns all benchmark names in evaluation order: the static
+// registry followed by any graduated generated kernels.
+func Names() []string {
+	genMu.Lock()
+	defer genMu.Unlock()
+	out := make([]string, 0, len(registry)+len(generated))
+	for _, b := range registry {
+		out = append(out, b.Name)
+	}
+	for _, b := range generated {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// ParallelisableNames returns the figure-7 benchmarks in order: the
+// paper's nine plus any parallelisable graduated kernels.
 func ParallelisableNames() []string {
+	genMu.Lock()
+	defer genMu.Unlock()
 	var out []string
 	for _, b := range registry {
+		if b.Parallelisable {
+			out = append(out, b.Name)
+		}
+	}
+	for _, b := range generated {
 		if b.Parallelisable {
 			out = append(out, b.Name)
 		}
@@ -344,9 +408,21 @@ func ParallelisableNames() []string {
 	return out
 }
 
-// ByName looks up a benchmark.
+// ByName looks up a benchmark in the static registry or the generated
+// corpus.
 func ByName(name string) (Benchmark, bool) {
+	genMu.Lock()
+	defer genMu.Unlock()
+	return byNameLocked(name)
+}
+
+func byNameLocked(name string) (Benchmark, bool) {
 	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	for _, b := range generated {
 		if b.Name == name {
 			return b, true
 		}
@@ -395,6 +471,9 @@ func build(name string, in Input, opt OptLevel) (*obj.Executable, []*obj.Library
 	bm, ok := ByName(name)
 	if !ok {
 		return nil, nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+	}
+	if bm.buildExt != nil {
+		return bm.buildExt(in)
 	}
 	b := asm.NewBuilder(fmt.Sprintf("%s-%s-%s", name, in, opt))
 	k := &kctx{b: b, f: b.Func("main"), opt: opt}
