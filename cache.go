@@ -1,0 +1,174 @@
+package janus
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"janus/internal/analyzer"
+	"janus/internal/artcache"
+	"janus/internal/dbm"
+	"janus/internal/obj"
+	"janus/internal/rules"
+	"janus/internal/vm"
+)
+
+// Durable cache tier. Every pipeline stage here is a deterministic
+// function of its binary (plus schedule and configuration), so its
+// result can be stored on disk keyed by content and replayed across
+// processes: a warm `janus-bench` run recomputes nothing yet must stay
+// byte-identical to a cold one. The in-memory singleflight memos in
+// memo.go remain the first tier; the artcache is consulted on a memory
+// miss, and a computed result is published for the next process.
+//
+// Artifact kinds are version-tagged (the same convention as the
+// BENCH_engine.json schema tag): any change to a payload layout or to
+// the semantics feeding it must bump the kind, which orphans old
+// entries — they simply stop matching and age out via LRU.
+const (
+	kindNative  = "native-v1"
+	kindProfile = "profile-v1"
+	kindDBM     = "dbm-v1"
+)
+
+// binaryKey is the content identity of (executable, library set): the
+// fingerprint of every mapped image, in load order.
+func binaryKey(exe *obj.Executable, libs []*obj.Library) string {
+	var sb strings.Builder
+	sb.WriteString(exe.Fingerprint())
+	for _, l := range libs {
+		sb.WriteByte('+')
+		sb.WriteString(l.Fingerprint())
+	}
+	return sb.String()
+}
+
+// scheduleKey hashes a rewrite schedule's serialised form. ok=false
+// (unserialisable schedule) means the caller must bypass the cache —
+// a shared sentinel key would alias distinct schedules.
+func scheduleKey(sched *rules.Schedule) (string, bool) {
+	if sched == nil {
+		return "none", true
+	}
+	img, err := sched.Save()
+	if err != nil {
+		return "", false
+	}
+	sum := sha256.Sum256(img)
+	return hex.EncodeToString(sum[:]), true
+}
+
+// dbmConfigKey folds every Config field that can influence a Result —
+// including the engine-selection knobs, which leave virtual cycles
+// untouched but are attributed in Stats (HostParRegions,
+// StealRegions) — into a canonical string. Inject and Profile are
+// absent because injected and profiling runs never reach the cache.
+func dbmConfigKey(c dbm.Config) string {
+	return fmt.Sprintf("threads=%d parallel=%t hostpar=%t steal=%t miniter=%d maxsteps=%d cost=%+v",
+		c.Threads, c.Parallel, c.HostParallel, c.WorkStealing, c.MinIterPerThread, c.MaxSteps, c.Cost)
+}
+
+// runDBMCached executes exe under the DBM, consulting the durable
+// cache when one is configured. Fault-injected runs bypass the cache
+// unconditionally: their recovery counters must come from a real
+// execution, and a plan's effect is not part of the key. Profiling
+// runs go through the dedicated profile artifact instead.
+func runDBMCached(c *artcache.Cache, exe *obj.Executable, sched *rules.Schedule, dcfg dbm.Config, libs ...*obj.Library) (*dbm.Result, error) {
+	run := func() (*dbm.Result, error) {
+		ex, err := dbm.New(exe, sched, dcfg, libs...)
+		if err != nil {
+			return nil, err
+		}
+		return ex.Run()
+	}
+	if c == nil || dcfg.Inject != nil || dcfg.Profile {
+		return run()
+	}
+	sk, ok := scheduleKey(sched)
+	if !ok {
+		return run()
+	}
+	k := artcache.Key{Kind: kindDBM, Binary: binaryKey(exe, libs), Input: sk, Config: dbmConfigKey(dcfg)}
+	if data, hit := c.Get(k); hit {
+		if res, err := dbm.DecodeResult(data); err == nil {
+			return res, nil
+		}
+		// Verified entry with an undecodable payload: a schema skew the
+		// kind tag failed to capture. Recompute and overwrite.
+	}
+	res, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if data, err := dbm.EncodeResult(res); err == nil {
+		_ = c.Put(k, data) // cache write failure must never fail the run
+	}
+	return res, nil
+}
+
+// profilePayload is the disk form of a ProfileResult: the four
+// deterministic profile maps. The Executor is process-local state
+// (raw coverage tables, dependence sets) and is nil on a cache load;
+// nothing downstream of the memo reads it.
+type profilePayload struct {
+	Coverage     map[int]float64
+	ExclCoverage map[int]float64
+	AvgIters     map[int]float64
+	Dependences  map[int]bool
+}
+
+func encodeProfile(pr *ProfileResult) ([]byte, error) {
+	return json.Marshal(profilePayload{
+		Coverage:     pr.Coverage,
+		ExclCoverage: pr.ExclCoverage,
+		AvgIters:     pr.AvgIters,
+		Dependences:  pr.Dependences,
+	})
+}
+
+func decodeProfile(data []byte) (*ProfileResult, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p profilePayload
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("janus: decode cached profile: %w", err)
+	}
+	return &ProfileResult{
+		Coverage:     p.Coverage,
+		ExclCoverage: p.ExclCoverage,
+		AvgIters:     p.AvgIters,
+		Dependences:  p.Dependences,
+	}, nil
+}
+
+// ResetMemos drops every completed entry from the in-memory memo
+// tables. Tests use it to force the next run through the durable
+// tier; in-flight computations are unaffected.
+func ResetMemos() {
+	nativeFlight.Reset()
+	analyzeFlight.Reset()
+	profileFlight.Reset()
+}
+
+// RunNativeBaselineCached is RunNativeBaseline backed by a durable
+// artifact cache (nil c degrades to the in-memory memo alone).
+func RunNativeBaselineCached(c *artcache.Cache, exe *obj.Executable, libs ...*obj.Library) (*vm.Result, error) {
+	return runNativeMemo(c, exe, libs...)
+}
+
+// RunBareDBMCached is RunBareDBM backed by a durable artifact cache
+// (nil c recomputes every time, matching RunBareDBM).
+func RunBareDBMCached(c *artcache.Cache, exe *obj.Executable, libs ...*obj.Library) (*dbm.Result, error) {
+	return runDBMCached(c, exe, nil, dbm.Config{Threads: 1, Cost: dbm.DefaultCost(), MaxSteps: vm.DefaultMaxSteps}, libs...)
+}
+
+// RunProfilingCached is RunProfiling behind both memo tiers. On a
+// durable-cache hit the returned ProfileResult carries the four
+// profile maps but a nil Executor; callers needing the raw profiler
+// state must use RunProfiling directly.
+func RunProfilingCached(c *artcache.Cache, exe *obj.Executable, prog *analyzer.Program, libs ...*obj.Library) (*ProfileResult, error) {
+	return runProfilingMemo(c, exe, prog, libs...)
+}

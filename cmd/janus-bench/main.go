@@ -29,6 +29,13 @@
 //	                                     run (figures gain gen/* rows;
 //	                                     default output is unchanged when
 //	                                     the flag is absent)
+//	janus-bench -cache-dir .janus-cache  store builds, native baselines,
+//	                                     profiles and DBM results in a
+//	                                     durable on-disk artifact cache;
+//	                                     a warm re-run replays them and
+//	                                     prints hit/miss counters to
+//	                                     stderr. Output is byte-identical
+//	                                     with the cache off, cold or warm.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"fmt"
 	"os"
 
+	"janus/internal/artcache"
 	"janus/internal/faultinject"
 	"janus/internal/genkern"
 	"janus/internal/harness"
@@ -52,6 +60,7 @@ func main() {
 	engineJSON := flag.String("engine-json", "", "run the execution-engine micro-benchmarks and write a JSON perf snapshot to this path")
 	inject := flag.String("inject", "", "arm deterministic fault injection in speculative regions, spec point[@every][#seed] with point one of scan-defeat, worker-panic, stall, budget (recovery keeps stdout byte-identical; summary on stderr)")
 	genCorpus := flag.Int("gen-corpus", 0, "screen N seeded generated kernels against the differential oracle and graduate interesting ones into this run's benchmark corpus (0 = off; the default suite and its golden output are unchanged)")
+	cacheDir := flag.String("cache-dir", "", "durable artifact cache directory (empty = off); figure/table outputs are byte-identical with the cache off, cold or warm, and the directory is safe to share between processes")
 	flag.Parse()
 
 	opts := harness.Options{
@@ -60,6 +69,15 @@ func main() {
 		SingleGoroutine: !*hostParallel,
 		StaticPartition: !*steal,
 		Recovery:        &harness.RecoveryLog{},
+		CacheDir:        *cacheDir,
+	}
+	// Open the store here too: OpenShared dedups per directory, so this
+	// handle observes the same counters the harness increments.
+	var cache *artcache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = artcache.OpenShared(*cacheDir)
+		exitOn(err)
 	}
 	if *inject != "" {
 		plan, err := faultinject.ParsePlan(*inject)
@@ -88,6 +106,9 @@ func main() {
 	fmt.Print(out)
 	if opts.Inject != nil || opts.Recovery.ParRecoveries.Load() > 0 {
 		fmt.Fprintln(os.Stderr, "janus-bench:", opts.Recovery.Summary())
+	}
+	if cache != nil {
+		fmt.Fprintln(os.Stderr, "janus-bench: artcache:", cache.Stats())
 	}
 	exitOn(err)
 }

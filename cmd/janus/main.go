@@ -16,6 +16,7 @@ import (
 
 	"janus"
 	"janus/internal/analyzer"
+	"janus/internal/artcache"
 	"janus/internal/workloads"
 )
 
@@ -33,6 +34,7 @@ func main() {
 	out := fs.String("o", "", "output file for 'schedule'")
 	noProfile := fs.Bool("no-profile", false, "disable profile-guided selection")
 	noChecks := fs.Bool("no-checks", false, "disable runtime checks and speculation")
+	cacheDir := fs.String("cache-dir", "", "durable artifact cache directory (empty = off); results are identical with the cache off, cold or warm")
 	_ = fs.Parse(os.Args[2:])
 
 	if cmd == "list" {
@@ -53,7 +55,15 @@ func main() {
 	case "O3avx":
 		level = workloads.O3AVX
 	}
-	exe, libs, err := workloads.Build(*bench, in, level)
+	var cache *artcache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = artcache.OpenShared(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	exe, libs, err := workloads.BuildCached(cache, *bench, in, level)
 	if err != nil {
 		fatal(err)
 	}
@@ -84,7 +94,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		pr, err := janus.RunProfiling(exe, prog, libs...)
+		pr, err := janus.RunProfilingCached(cache, exe, prog, libs...)
 		if err != nil {
 			fatal(err)
 		}
@@ -108,6 +118,7 @@ func main() {
 			Threads:    *threads,
 			UseProfile: !*noProfile,
 			UseChecks:  !*noChecks,
+			Cache:      cache,
 		}, libs...)
 		if err != nil {
 			fatal(err)
@@ -135,6 +146,7 @@ func main() {
 			UseProfile: !*noProfile,
 			UseChecks:  !*noChecks,
 			Verify:     true,
+			Cache:      cache,
 		}, libs...)
 		if err != nil {
 			fatal(err)

@@ -2,11 +2,25 @@ package analyzer
 
 import (
 	"fmt"
+	"sort"
 
 	"janus/internal/guest"
 	"janus/internal/rules"
 	"janus/internal/sym"
 )
+
+// libCallSites returns the loop's PLT call sites in address order.
+// Schedules must serialise to identical bytes across runs — the
+// durable artifact cache keys DBM results by the schedule hash — so
+// rule emission never iterates the LibCalls map directly.
+func libCallSites(li *LoopInfo) []uint64 {
+	sites := make([]uint64, 0, len(li.LibCalls))
+	for site := range li.LibCalls {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	return sites
+}
 
 // GenProfileSchedule emits the profiling rewrite schedule: loop
 // coverage instrumentation for every feasible loop, plus memory-access
@@ -39,8 +53,7 @@ func (p *Program) GenProfileSchedule() *rules.Schedule {
 					s.Append(rules.Rule{Addr: acc.Ref.Addr(), ID: rules.PROF_MEM_ACCESS, LoopID: int32(li.ID), Data: rules.ProfMemData{}})
 				}
 			}
-			for site, name := range li.LibCalls {
-				_ = name
+			for _, site := range libCallSites(li) {
 				s.Append(rules.Rule{Addr: site, ID: rules.PROF_EXCALL_START, LoopID: int32(li.ID), Data: rules.ProfExcallData{Target: site}})
 				s.Append(rules.Rule{Addr: site + guest.InstSize, ID: rules.PROF_EXCALL_FINISH, LoopID: int32(li.ID), Data: rules.ProfExcallData{Target: site}})
 			}
@@ -146,7 +159,7 @@ func (p *Program) genLoopRules(s *rules.Schedule, li *LoopInfo) error {
 	}
 
 	// Shared-library calls wrapped in software transactions.
-	for site := range li.LibCalls {
+	for _, site := range libCallSites(li) {
 		s.Append(rules.Rule{Addr: site, ID: rules.TX_START, LoopID: id, Data: rules.TxData{CallTarget: site}})
 		s.Append(rules.Rule{Addr: site + guest.InstSize, ID: rules.TX_FINISH, LoopID: id, Data: rules.TxData{}})
 	}

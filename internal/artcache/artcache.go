@@ -1,0 +1,460 @@
+// Package artcache is a durable, content-addressed artifact store
+// shared by every deterministic stage of the pipeline. Each artifact
+// is keyed by (schema version, artifact kind, binary content hash,
+// input, configuration); because every cached stage is a pure function
+// of that tuple, an entry can be verified against its key and a valid
+// hit is always byte-equivalent to recomputation.
+//
+// Durability and sharing contract:
+//
+//   - Entries are published atomically: a writer streams into a
+//     temporary file in the cache directory and renames it over the
+//     final path, so a reader (same process, another goroutine, or
+//     another process sharing the directory) only ever observes a
+//     complete entry or none at all.
+//   - Reads are verified: the entry header records the full key digest
+//     and a SHA-256 of the payload. A truncated, bit-flipped or
+//     foreign file is treated as a miss (and removed best-effort); the
+//     caller recomputes and rewrites. Corruption can cost time, never
+//     correctness.
+//   - The store is size-bounded with LRU eviction: Get refreshes an
+//     entry's mtime, and when the resident bytes exceed MaxBytes the
+//     oldest entries are deleted until the bound holds again. Eviction
+//     unlinks files; a concurrent reader that already opened the entry
+//     keeps its consistent view (POSIX), and one that lost the race
+//     simply misses.
+//   - Versioned invalidation follows the BENCH_engine.json schema-tag
+//     convention: the schema string is folded into every key digest,
+//     so bumping it orphans every old entry at once (the orphans age
+//     out through the LRU bound).
+package artcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSchema tags the current on-disk key schema. Bump it whenever
+// the meaning or serialisation of any cached artifact kind changes:
+// every entry written under the old tag becomes unreachable (a miss)
+// and is eventually evicted by the size bound.
+const DefaultSchema = "janus-artcache/v1"
+
+// DefaultMaxBytes bounds the store when Options.MaxBytes is zero.
+const DefaultMaxBytes = 256 << 20
+
+// Key identifies one artifact. All fields participate in the content
+// digest; Kind additionally names the subdirectory the entry lives in,
+// so it must be a short filepath-safe slug (letters, digits, '-', '.').
+type Key struct {
+	// Kind is the artifact type plus its serialisation version, e.g.
+	// "native-v1".
+	Kind string
+	// Binary is the content fingerprint of the guest binary (and
+	// library set) the artifact derives from.
+	Binary string
+	// Input discriminates artifacts of one binary (e.g. input set).
+	Input string
+	// Config captures every configuration knob the artifact depends on
+	// (thread count, cost model, engine selection, ...).
+	Config string
+}
+
+// Options configures Open.
+type Options struct {
+	// MaxBytes bounds the resident size of the store (0 = DefaultMaxBytes).
+	MaxBytes int64
+	// Schema overrides DefaultSchema (tests and forced invalidation).
+	Schema string
+}
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats struct {
+	// Hits counts verified reads served from disk.
+	Hits int64
+	// Misses counts absent entries (including evicted and
+	// schema-orphaned ones).
+	Misses int64
+	// Evictions counts entries removed by the size bound.
+	Evictions int64
+	// BadEntries counts entries rejected by verification (truncated,
+	// bit-flipped, foreign, or undecodable); each was treated as a
+	// miss and is also counted there.
+	BadEntries int64
+}
+
+// String renders the snapshot the way janus-bench prints it on stderr.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses, %d evictions, %d bad entries",
+		s.Hits, s.Misses, s.Evictions, s.BadEntries)
+}
+
+// Cache is an open artifact store rooted at one directory. It is safe
+// for concurrent use by multiple goroutines, and multiple processes
+// may share one directory (each opens its own Cache).
+type Cache struct {
+	dir      string
+	maxBytes int64
+	schema   string
+
+	// now is the eviction clock (a test hook; time.Now otherwise).
+	now func() time.Time
+
+	// mu serialises size accounting and eviction within this process.
+	mu   sync.Mutex
+	size int64
+
+	hits, misses, evictions, bad atomic.Int64
+}
+
+// Open creates (if needed) and opens the store rooted at dir. The
+// resident size is recomputed from the directory, so the LRU bound
+// holds across process restarts and is shared with concurrent writers.
+func Open(dir string, o Options) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("artcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artcache: %w", err)
+	}
+	c := &Cache{
+		dir:      dir,
+		maxBytes: o.MaxBytes,
+		schema:   o.Schema,
+		now:      time.Now,
+	}
+	if c.maxBytes <= 0 {
+		c.maxBytes = DefaultMaxBytes
+	}
+	if c.schema == "" {
+		c.schema = DefaultSchema
+	}
+	c.mu.Lock()
+	c.size = c.scanSize()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// shared deduplicates OpenShared instances per absolute directory, so
+// every layer of one process (harness options, memos, build cache,
+// CLI stats reporting) observes a single set of counters.
+var shared struct {
+	mu sync.Mutex
+	m  map[string]*Cache
+}
+
+// OpenShared returns the process-wide Cache for dir, opening it with
+// default Options on first use.
+func OpenShared(dir string) (*Cache, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("artcache: %w", err)
+	}
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if c, ok := shared.m[abs]; ok {
+		return c, nil
+	}
+	c, err := Open(abs, Options{})
+	if err != nil {
+		return nil, err
+	}
+	if shared.m == nil {
+		shared.m = map[string]*Cache{}
+	}
+	shared.m[abs] = c
+	return c, nil
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		BadEntries: c.bad.Load(),
+	}
+}
+
+// Dir returns the root directory of the store.
+func (c *Cache) Dir() string { return c.dir }
+
+// ---------------------------------------------------------------------
+// Entry format.
+//
+//	magic      [8]byte  "JANUSART"
+//	keyID      [32]byte sha256 over length-prefixed (schema, kind,
+//	                    binary, input, config)
+//	payloadLen uint64   little-endian
+//	payloadSHA [32]byte sha256 of payload
+//	payload    [payloadLen]byte
+// ---------------------------------------------------------------------
+
+var magic = [8]byte{'J', 'A', 'N', 'U', 'S', 'A', 'R', 'T'}
+
+const headerSize = 8 + 32 + 8 + 32
+
+// keyID digests a key under the cache's schema tag. Fields are
+// length-prefixed so no two distinct keys can collide by sliding bytes
+// between fields.
+func (c *Cache) keyID(k Key) [32]byte {
+	h := sha256.New()
+	for _, s := range []string{c.schema, k.Kind, k.Binary, k.Input, k.Config} {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	var id [32]byte
+	h.Sum(id[:0])
+	return id
+}
+
+// path locates the entry file for a key: one subdirectory per kind,
+// file named by the key digest.
+func (c *Cache) path(k Key) string {
+	id := c.keyID(k)
+	return filepath.Join(c.dir, kindDir(k.Kind), hex.EncodeToString(id[:])+".art")
+}
+
+// kindDir maps a kind to its subdirectory, folding any filepath-unsafe
+// rune so a hostile kind string cannot escape the cache root.
+func kindDir(kind string) string {
+	if kind == "" {
+		return "misc"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, kind)
+}
+
+// encode serialises payload into a complete entry image for k.
+func (c *Cache) encode(k Key, payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out[0:8], magic[:])
+	id := c.keyID(k)
+	copy(out[8:40], id[:])
+	binary.LittleEndian.PutUint64(out[40:48], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(out[48:80], sum[:])
+	copy(out[80:], payload)
+	return out
+}
+
+// decode verifies an entry image against k and returns the payload.
+func (c *Cache) decode(k Key, data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("artcache: entry truncated: %d bytes", len(data))
+	}
+	if [8]byte(data[0:8]) != magic {
+		return nil, fmt.Errorf("artcache: bad magic")
+	}
+	if [32]byte(data[8:40]) != c.keyID(k) {
+		return nil, fmt.Errorf("artcache: entry key mismatch")
+	}
+	n := binary.LittleEndian.Uint64(data[40:48])
+	if n != uint64(len(data)-headerSize) {
+		return nil, fmt.Errorf("artcache: payload length %d, file carries %d", n, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	if sha256.Sum256(payload) != [32]byte(data[48:80]) {
+		return nil, fmt.Errorf("artcache: payload digest mismatch")
+	}
+	return payload, nil
+}
+
+// Get returns the verified payload for k, or ok=false on a miss. A
+// present-but-invalid entry (truncated, corrupted, written under
+// another schema layout, or not an entry file at all) counts as a
+// miss: it is removed best-effort so the caller's recompute-and-Put
+// heals the store.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	p := c.path(k)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	payload, err := c.decode(k, data)
+	if err != nil {
+		c.bad.Add(1)
+		c.misses.Add(1)
+		c.removeEntry(p, int64(len(data)))
+		return nil, false
+	}
+	c.hits.Add(1)
+	// LRU touch. Best-effort: a raced eviction or another process's
+	// concurrent rewrite only perturbs recency, never contents.
+	now := c.now()
+	_ = os.Chtimes(p, now, now)
+	return payload, true
+}
+
+// Put atomically publishes payload under k and enforces the size
+// bound. Concurrent writers for the same key (goroutines or
+// processes) each publish a complete entry; whichever rename lands
+// last wins, and both images verify identically because cached stages
+// are deterministic.
+func (c *Cache) Put(k Key, payload []byte) error {
+	p := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("artcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artcache: %w", err)
+	}
+	img := c.encode(k, payload)
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artcache: %w", err)
+	}
+	now := c.now()
+	_ = os.Chtimes(tmp.Name(), now, now)
+	var prev int64
+	if st, err := os.Stat(p); err == nil {
+		prev = st.Size()
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artcache: %w", err)
+	}
+	c.mu.Lock()
+	c.size += int64(len(img)) - prev
+	if c.size > c.maxBytes {
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// GetOrCompute returns the cached payload for k, or computes, caches
+// and returns it. Compute errors propagate; Put failures (a full or
+// read-only disk) are swallowed — the cache layer must never turn a
+// computable artifact into an error.
+func (c *Cache) GetOrCompute(k Key, compute func() ([]byte, error)) ([]byte, error) {
+	if payload, ok := c.Get(k); ok {
+		return payload, nil
+	}
+	payload, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	_ = c.Put(k, payload)
+	return payload, nil
+}
+
+// removeEntry unlinks an entry file and adjusts the size accounting.
+func (c *Cache) removeEntry(path string, size int64) {
+	if os.Remove(path) == nil {
+		c.mu.Lock()
+		c.size -= size
+		if c.size < 0 {
+			c.size = 0
+		}
+		c.mu.Unlock()
+	}
+}
+
+// entryInfo is one on-disk entry during an eviction scan.
+type entryInfo struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// scanEntries walks the store and returns every entry file. Temp files
+// mid-publication are skipped (they are renamed or removed by their
+// writer).
+func (c *Cache) scanEntries() []entryInfo {
+	var out []entryInfo
+	kinds, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil
+	}
+	for _, kd := range kinds {
+		if !kd.IsDir() {
+			continue
+		}
+		sub := filepath.Join(c.dir, kd.Name())
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".art") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, entryInfo{
+				path:  filepath.Join(sub, f.Name()),
+				size:  info.Size(),
+				mtime: info.ModTime(),
+			})
+		}
+	}
+	return out
+}
+
+// scanSize totals the resident entry bytes.
+func (c *Cache) scanSize() int64 {
+	var total int64
+	for _, e := range c.scanEntries() {
+		total += e.size
+	}
+	return total
+}
+
+// evictLocked removes least-recently-used entries until the resident
+// size fits MaxBytes again. It rescans the directory first so
+// concurrent processes sharing the store are accounted for; eviction
+// order is mtime (Get refreshes it), ties broken by path so the order
+// is deterministic. Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	entries := c.scanEntries()
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path
+	})
+	for _, e := range entries {
+		if total <= c.maxBytes {
+			break
+		}
+		// Unlink only: a reader that already opened this file keeps a
+		// consistent snapshot; a later reader misses and recomputes.
+		if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+			continue
+		}
+		total -= e.size
+		c.evictions.Add(1)
+	}
+	c.size = total
+}

@@ -1,0 +1,57 @@
+package artcache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzEntryFile feeds arbitrary bytes to the on-disk entry parser: the
+// reader must never panic, never serve unverified bytes as a hit, and
+// the store must stay fully usable afterwards (the adversarial file is
+// healed by the next Put).
+func FuzzEntryFile(f *testing.F) {
+	seedCache, err := Open(f.TempDir(), Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	k := Key{Kind: "fuzz-v1", Binary: "bin", Input: "in", Config: "cfg"}
+	valid := seedCache.encode(k, []byte("payload"))
+	f.Add([]byte{})
+	f.Add([]byte("JANUSART"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(bytes.Repeat([]byte{0xFF}, headerSize+4))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		c, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := c.path(k)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := c.Get(k)
+		if ok {
+			// The only way arbitrary bytes may be served is if they are
+			// a byte-exact valid entry for this key.
+			if !bytes.Equal(c.encode(k, got), data) {
+				t.Fatalf("unverified hit: %d payload bytes from %d-byte file", len(got), len(data))
+			}
+		}
+		// The store heals: a Put over the adversarial file restores
+		// normal service.
+		if err := c.Put(k, []byte("fresh")); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := c.Get(k); !ok || string(got) != "fresh" {
+			t.Fatalf("store unusable after adversarial entry: %q, %v", got, ok)
+		}
+	})
+}

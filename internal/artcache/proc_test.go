@@ -1,0 +1,87 @@
+package artcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// procHammer is the shared workload of the two-process test: both
+// processes churn the same keyspace with Put/Get, with a bound small
+// enough that eviction runs concurrently in both. The invariant under
+// attack: a hit always carries exactly the payload its key demands,
+// whichever process published or evicted it.
+func procHammer(c *Cache, rounds int) error {
+	const keys = 10
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < keys; i++ {
+			k := testKey(i)
+			want := payloadFor(k)
+			if (r+i)%2 == 0 {
+				if err := c.Put(k, want); err != nil {
+					return err
+				}
+			}
+			if got, ok := c.Get(k); ok && !bytes.Equal(got, want) {
+				return fmt.Errorf("round %d key %d: corrupt read (%d bytes)", r, i, len(got))
+			}
+		}
+	}
+	if st := c.Stats(); st.BadEntries != 0 {
+		return fmt.Errorf("%d bad entries under two-process sharing", st.BadEntries)
+	}
+	return nil
+}
+
+const procDirEnv = "ARTCACHE_TEST_PROC_DIR"
+
+// TestProcessSharingHelper is the child side of
+// TestTwoProcessesShareOneDir; it only runs when re-executed with the
+// environment variable set.
+func TestProcessSharingHelper(t *testing.T) {
+	dir := os.Getenv(procDirEnv)
+	if dir == "" {
+		t.Skip("helper process entry point")
+	}
+	c, err := Open(dir, Options{MaxBytes: 6 * int64(headerSize+len(payloadFor(testKey(0))))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := procHammer(c, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoProcessesShareOneDir re-executes the test binary as a second
+// process against the same cache directory while this process runs the
+// identical workload: the N-replicas-one-cache-directory deployment in
+// miniature. Atomic rename publication is what makes this safe; any
+// torn or foreign read fails either side.
+func TestTwoProcessesShareOneDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestProcessSharingHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), procDirEnv+"="+dir)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir, Options{MaxBytes: 6 * int64(headerSize+len(payloadFor(testKey(0))))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammerErr := procHammer(c, 200)
+	waitErr := cmd.Wait()
+	if hammerErr != nil {
+		t.Errorf("parent: %v", hammerErr)
+	}
+	if waitErr != nil {
+		t.Errorf("child process failed: %v\n%s", waitErr, out.String())
+	}
+}

@@ -1,0 +1,131 @@
+package harness
+
+// Cold/warm/off equivalence for the durable artifact cache: the suite
+// rendered with the cache disabled, with an empty cache (cold), and
+// against the populated cache (warm) must be byte-identical to the
+// committed golden fixture, and the warm render must actually replay
+// from disk (nonzero hit counter) rather than quietly recomputing.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"janus"
+	"janus/internal/artcache"
+	"janus/internal/workloads"
+)
+
+// resetMemoryTiers drops every in-process memo so the next render must
+// go through the durable tier (or recompute). Without this, the warm
+// render would be served entirely from pointer-keyed memory memos and
+// the disk cache would never be exercised in-process.
+func resetMemoryTiers() {
+	janus.ResetMemos()
+	workloads.ResetBuildCache()
+}
+
+func TestGoldenColdWarmOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full-suite renders; run without -short")
+	}
+	want := readGolden(t)
+	dir := t.TempDir()
+	cache, err := artcache.OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCache := func() Options {
+		o := DefaultOptions()
+		o.CacheDir = dir
+		return o
+	}
+
+	resetMemoryTiers()
+	diffGolden(t, "cache off", renderSuite(t, DefaultOptions()), want)
+
+	resetMemoryTiers()
+	diffGolden(t, "cold cache", renderSuite(t, withCache()), want)
+	cold := cache.Stats()
+	if cold.Misses == 0 {
+		t.Fatalf("cold render recorded no misses (%s): the cache was not consulted", cold)
+	}
+
+	resetMemoryTiers()
+	diffGolden(t, "warm cache", renderSuite(t, withCache()), want)
+	warm := cache.Stats()
+	if warm.Hits <= cold.Hits {
+		t.Fatalf("warm render recorded no new hits: cold %s, warm %s", cold, warm)
+	}
+	if warm.Misses != cold.Misses {
+		t.Errorf("warm render missed %d times beyond the cold run: some artifact key is unstable across runs (cold %s, warm %s)",
+			warm.Misses-cold.Misses, cold, warm)
+	}
+	if warm.BadEntries != 0 {
+		t.Errorf("store reported corrupt entries on a healthy run: %s", warm)
+	}
+}
+
+// TestCacheCorruptionHealsAcrossRender corrupts every on-disk artifact
+// after a populated render and checks the next render detects the
+// damage, recomputes, and still matches the golden fixture exactly.
+func TestCacheCorruptionHealsAcrossRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full figure renders; run without -short")
+	}
+	want := readGolden(t)
+	dir := t.TempDir()
+	cache, err := artcache.OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.CacheDir = dir
+
+	// One figure is enough to populate every artifact kind.
+	resetMemoryTiers()
+	rows, err := Figure7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := RenderFigure7(rows)
+
+	// Flip a byte in every artifact.
+	n := 0
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".art" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[len(data)/2] ^= 0xFF
+		n++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no artifacts were written by the first render")
+	}
+
+	resetMemoryTiers()
+	rows, err = Figure7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := RenderFigure7(rows)
+	if second != first {
+		t.Errorf("render after corruption differs from the pre-corruption render")
+	}
+	if !strings.Contains(want, first) {
+		t.Errorf("figure 7 render not found inside the golden fixture")
+	}
+	st := cache.Stats()
+	if st.BadEntries == 0 {
+		t.Fatalf("no corrupt entries were detected: %s", st)
+	}
+}

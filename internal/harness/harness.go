@@ -22,6 +22,7 @@ import (
 
 	"janus"
 	"janus/internal/analyzer"
+	"janus/internal/artcache"
 	"janus/internal/compilers"
 	"janus/internal/dbm"
 	"janus/internal/faultinject"
@@ -63,6 +64,20 @@ type Options struct {
 	// Recovery, when non-nil, accumulates recovery counters across
 	// every Janus run the suite performs.
 	Recovery *RecoveryLog
+	// CacheDir, when non-empty, enables the durable artifact cache
+	// (janus-bench -cache-dir): workload builds, native baselines,
+	// training profiles and DBM results are stored on disk there and
+	// replayed on subsequent runs. Rendered output is byte-identical
+	// with the cache off, cold, or warm; only wall-clock changes. The
+	// directory is safe to share between concurrent processes.
+	CacheDir string
+
+	// cache is the opened durable store (resolved from CacheDir by
+	// normalized; OpenShared dedups per directory so every experiment
+	// and the owning command observe one counter set). cacheErr holds
+	// the open failure, surfaced at each public entry point.
+	cache    *artcache.Cache
+	cacheErr error
 }
 
 // RecoveryLog aggregates speculation-recovery counters across the
@@ -94,13 +109,17 @@ func DefaultOptions() Options {
 	}
 }
 
-// normalized fills unset fields with their defaults.
+// normalized fills unset fields with their defaults and opens the
+// durable cache when CacheDir is set.
 func (o Options) normalized() Options {
 	if o.Threads <= 0 {
 		o.Threads = DefaultThreads
 	}
 	if o.Jobs <= 0 {
 		o.Jobs = 1
+	}
+	if o.CacheDir != "" && o.cache == nil && o.cacheErr == nil {
+		o.cache, o.cacheErr = artcache.OpenShared(o.CacheDir)
 	}
 	return o
 }
@@ -111,6 +130,7 @@ func (o Options) engineConfig(c janus.Config) janus.Config {
 	c.SingleGoroutine = o.SingleGoroutine
 	c.StaticPartition = o.StaticPartition
 	c.Inject = o.Inject
+	c.Cache = o.cache
 	if o.Recovery != nil {
 		c.OnStats = o.Recovery.Fold
 	}
@@ -122,14 +142,15 @@ func (o Options) compilerEngine() compilers.Engine {
 	return compilers.Engine{HostParallel: !o.SingleGoroutine, WorkStealing: !o.StaticPartition}
 }
 
-// buildRef builds the ref-input O3 binary for a benchmark.
-func buildRef(name string) (*obj.Executable, []*obj.Library, error) {
-	return workloads.Build(name, workloads.Ref, workloads.O3)
+// buildRef builds the ref-input O3 binary for a benchmark, through the
+// durable cache when one is configured.
+func (o Options) buildRef(name string) (*obj.Executable, []*obj.Library, error) {
+	return workloads.BuildCached(o.cache, name, workloads.Ref, workloads.O3)
 }
 
 // buildTrain builds the train-input O3 binary.
-func buildTrain(name string) (*obj.Executable, []*obj.Library, error) {
-	return workloads.Build(name, workloads.Train, workloads.O3)
+func (o Options) buildTrain(name string) (*obj.Executable, []*obj.Library, error) {
+	return workloads.BuildCached(o.cache, name, workloads.Train, workloads.O3)
 }
 
 // geomean of strictly positive values.
@@ -174,6 +195,9 @@ type Fig6Row struct {
 // execution-time fractions with training inputs.
 func Figure6(o Options) ([]Fig6Row, error) {
 	o = o.normalized()
+	if o.cacheErr != nil {
+		return nil, o.cacheErr
+	}
 	return figure6(o, newScheduler(o.Jobs))
 }
 
@@ -181,7 +205,7 @@ func figure6(o Options, s *scheduler) ([]Fig6Row, error) {
 	names := workloads.Names()
 	rows := make([]Fig6Row, len(names))
 	err := s.forEach(len(names), func(i int) error {
-		row, err := figure6Row(names[i])
+		row, err := figure6Row(names[i], o)
 		if err != nil {
 			return fmt.Errorf("%s: %w", names[i], err)
 		}
@@ -194,8 +218,8 @@ func figure6(o Options, s *scheduler) ([]Fig6Row, error) {
 	return rows, nil
 }
 
-func figure6Row(name string) (*Fig6Row, error) {
-	exe, libs, err := buildTrain(name)
+func figure6Row(name string, o Options) (*Fig6Row, error) {
+	exe, libs, err := o.buildTrain(name)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +227,7 @@ func figure6Row(name string) (*Fig6Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr, err := janus.RunProfiling(exe, prog, libs...)
+	pr, err := janus.RunProfilingCached(o.cache, exe, prog, libs...)
 	if err != nil {
 		return nil, err
 	}
@@ -271,6 +295,9 @@ type Fig7Row struct {
 // benchmarks.
 func Figure7(o Options) ([]Fig7Row, error) {
 	o = o.normalized()
+	if o.cacheErr != nil {
+		return nil, o.cacheErr
+	}
 	return figure7(o, newScheduler(o.Jobs))
 }
 
@@ -292,19 +319,19 @@ func figure7(o Options, s *scheduler) ([]Fig7Row, error) {
 }
 
 func figure7Row(name string, o Options) (*Fig7Row, error) {
-	exe, libs, err := buildRef(name)
+	exe, libs, err := o.buildRef(name)
 	if err != nil {
 		return nil, err
 	}
-	trainExe, _, err := buildTrain(name)
+	trainExe, _, err := o.buildTrain(name)
 	if err != nil {
 		return nil, err
 	}
-	native, err := janus.RunNativeBaseline(exe, libs...)
+	native, err := janus.RunNativeBaselineCached(o.cache, exe, libs...)
 	if err != nil {
 		return nil, err
 	}
-	bare, err := janus.RunBareDBM(exe, libs...)
+	bare, err := janus.RunBareDBMCached(o.cache, exe, libs...)
 	if err != nil {
 		return nil, err
 	}
@@ -383,6 +410,9 @@ type Fig8Row struct {
 // Figure8 measures breakdowns for 1 and Options.Threads threads.
 func Figure8(o Options) ([]Fig8Row, error) {
 	o = o.normalized()
+	if o.cacheErr != nil {
+		return nil, o.cacheErr
+	}
 	return figure8(o, newScheduler(o.Jobs))
 }
 
@@ -391,11 +421,11 @@ func figure8(o Options, s *scheduler) ([]Fig8Row, error) {
 	rows := make([]Fig8Row, len(names))
 	err := s.forEach(len(names), func(i int) error {
 		name := names[i]
-		exe, libs, err := buildRef(name)
+		exe, libs, err := o.buildRef(name)
 		if err != nil {
 			return err
 		}
-		trainExe, _, err := buildTrain(name)
+		trainExe, _, err := o.buildTrain(name)
 		if err != nil {
 			return err
 		}
@@ -471,6 +501,9 @@ type Fig9Row struct {
 // Figure9 sweeps thread counts 1..Options.Threads.
 func Figure9(o Options) ([]Fig9Row, error) {
 	o = o.normalized()
+	if o.cacheErr != nil {
+		return nil, o.cacheErr
+	}
 	return figure9(o, newScheduler(o.Jobs))
 }
 
@@ -479,11 +512,11 @@ func figure9(o Options, s *scheduler) ([]Fig9Row, error) {
 	rows := make([]Fig9Row, len(names))
 	err := s.forEach(len(names), func(i int) error {
 		name := names[i]
-		exe, libs, err := buildRef(name)
+		exe, libs, err := o.buildRef(name)
 		if err != nil {
 			return err
 		}
-		trainExe, _, err := buildTrain(name)
+		trainExe, _, err := o.buildTrain(name)
 		if err != nil {
 			return err
 		}
@@ -542,6 +575,9 @@ type Fig10Row struct {
 // compares its serialised size with the binary image size.
 func Figure10(o Options) ([]Fig10Row, error) {
 	o = o.normalized()
+	if o.cacheErr != nil {
+		return nil, o.cacheErr
+	}
 	return figure10(o, newScheduler(o.Jobs))
 }
 
@@ -550,11 +586,11 @@ func figure10(o Options, s *scheduler) ([]Fig10Row, error) {
 	rows := make([]Fig10Row, len(names))
 	err := s.forEach(len(names), func(i int) error {
 		name := names[i]
-		exe, libs, err := buildRef(name)
+		exe, libs, err := o.buildRef(name)
 		if err != nil {
 			return err
 		}
-		trainExe, _, err := buildTrain(name)
+		trainExe, _, err := o.buildTrain(name)
 		if err != nil {
 			return err
 		}
@@ -614,6 +650,9 @@ type Fig11Row struct {
 // Figure11 runs both compilers and Janus on both binary flavours.
 func Figure11(o Options) ([]Fig11Row, error) {
 	o = o.normalized()
+	if o.cacheErr != nil {
+		return nil, o.cacheErr
+	}
 	return figure11(o, newScheduler(o.Jobs))
 }
 
@@ -622,19 +661,19 @@ func figure11(o Options, s *scheduler) ([]Fig11Row, error) {
 	rows := make([]Fig11Row, len(names))
 	err := s.forEach(len(names), func(i int) error {
 		name := names[i]
-		gccExe, libs, err := workloads.Build(name, workloads.Ref, workloads.O3)
+		gccExe, libs, err := workloads.BuildCached(o.cache, name, workloads.Ref, workloads.O3)
 		if err != nil {
 			return err
 		}
-		iccExe, _, err := workloads.Build(name, workloads.Ref, workloads.O3AVX)
+		iccExe, _, err := workloads.BuildCached(o.cache, name, workloads.Ref, workloads.O3AVX)
 		if err != nil {
 			return err
 		}
-		gccTrain, _, err := workloads.Build(name, workloads.Train, workloads.O3)
+		gccTrain, _, err := workloads.BuildCached(o.cache, name, workloads.Train, workloads.O3)
 		if err != nil {
 			return err
 		}
-		iccTrain, _, err := workloads.Build(name, workloads.Train, workloads.O3AVX)
+		iccTrain, _, err := workloads.BuildCached(o.cache, name, workloads.Train, workloads.O3AVX)
 		if err != nil {
 			return err
 		}
@@ -703,6 +742,9 @@ type Fig12Row struct {
 // Figure12 runs Janus on all three optimisation-level builds.
 func Figure12(o Options) ([]Fig12Row, error) {
 	o = o.normalized()
+	if o.cacheErr != nil {
+		return nil, o.cacheErr
+	}
 	return figure12(o, newScheduler(o.Jobs))
 }
 
@@ -713,11 +755,11 @@ func figure12(o Options, s *scheduler) ([]Fig12Row, error) {
 		name := names[i]
 		row := Fig12Row{Bench: name}
 		for _, opt := range []workloads.OptLevel{workloads.O2, workloads.O3, workloads.O3AVX} {
-			exe, libs, err := workloads.Build(name, workloads.Ref, opt)
+			exe, libs, err := workloads.BuildCached(o.cache, name, workloads.Ref, opt)
 			if err != nil {
 				return err
 			}
-			trainExe, _, err := workloads.Build(name, workloads.Train, opt)
+			trainExe, _, err := workloads.BuildCached(o.cache, name, workloads.Train, opt)
 			if err != nil {
 				return err
 			}
@@ -776,6 +818,9 @@ type Tab1Row struct {
 // TableI inspects the generated schedules.
 func TableI(o Options) ([]Tab1Row, error) {
 	o = o.normalized()
+	if o.cacheErr != nil {
+		return nil, o.cacheErr
+	}
 	return tableI(o, newScheduler(o.Jobs))
 }
 
@@ -784,11 +829,11 @@ func tableI(o Options, s *scheduler) ([]Tab1Row, error) {
 	slots := make([]*Tab1Row, len(names))
 	err := s.forEach(len(names), func(i int) error {
 		name := names[i]
-		exe, libs, err := buildRef(name)
+		exe, libs, err := o.buildRef(name)
 		if err != nil {
 			return err
 		}
-		trainExe, _, err := buildTrain(name)
+		trainExe, _, err := o.buildTrain(name)
 		if err != nil {
 			return err
 		}

@@ -11,7 +11,9 @@ package obj
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 
@@ -291,4 +293,36 @@ func Load(img []byte) (*Executable, error) {
 func writeStr(buf *bytes.Buffer, s string) {
 	_ = binary.Write(buf, binary.LittleEndian, uint64(len(s)))
 	buf.WriteString(s)
+}
+
+// Fingerprint returns the hex SHA-256 of the executable's serialised
+// image: the content-address used by the durable artifact cache
+// (internal/artcache) to key every derived artifact (native baselines,
+// training profiles, DBM results) by the exact binary they came from.
+// Every semantic field of an Executable is part of Save, so two
+// executables with equal fingerprints are indistinguishable to the
+// analyser, the VM and the DBM.
+func (e *Executable) Fingerprint() string {
+	sum := sha256.Sum256(e.Save())
+	return hex.EncodeToString(sum[:])
+}
+
+// Fingerprint returns the hex SHA-256 of the library's canonical
+// encoding (name, base, code, symbol table), mirroring
+// Executable.Fingerprint for artifact-cache keys.
+func (l *Library) Fingerprint() string {
+	var buf bytes.Buffer
+	writeStr(&buf, l.Name)
+	_ = binary.Write(&buf, binary.LittleEndian, l.Base)
+	_ = binary.Write(&buf, binary.LittleEndian, uint64(len(l.Code)))
+	buf.Write(l.Code)
+	_ = binary.Write(&buf, binary.LittleEndian, uint64(len(l.Symbols)))
+	for _, s := range l.Symbols {
+		writeStr(&buf, s.Name)
+		_ = binary.Write(&buf, binary.LittleEndian, s.Addr)
+		_ = binary.Write(&buf, binary.LittleEndian, s.Size)
+		buf.WriteByte(byte(s.Kind))
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
 }

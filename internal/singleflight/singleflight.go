@@ -76,5 +76,22 @@ func (f *Flight[K, V]) Do(k K, fn func() (V, error)) (V, error) {
 	return c.val, c.err
 }
 
+// Reset drops every completed entry, forcing subsequent Do calls to
+// recompute. In-flight computations are kept so concurrent callers
+// still join them and the run-exactly-once guarantee holds. Tests use
+// this to fall through the in-memory tier and exercise the durable
+// artifact cache beneath it.
+func (f *Flight[K, V]) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for k, c := range f.calls {
+		select {
+		case <-c.done:
+			delete(f.calls, k)
+		default: // in flight: keep
+		}
+	}
+}
+
 // errPanicked is handed to waiters whose shared computation panicked.
 var errPanicked = errors.New("singleflight: shared computation panicked")

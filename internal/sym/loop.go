@@ -2,6 +2,7 @@ package sym
 
 import (
 	"fmt"
+	"sort"
 
 	"janus/internal/cfg"
 	"janus/internal/guest"
@@ -747,12 +748,19 @@ func (a *Analysis) findCarriedAndLiveOut() {
 	}
 	seen := map[guest.Reg]bool{}
 	for _, t := range a.Loop.ExitTargets {
+		// liveInto returns a set; emit its members in register order so
+		// LiveOutRegs — and everything serialised from it, like the
+		// LOOP_FINISH rules the artifact cache hashes — is identical
+		// across runs.
+		var regs []guest.Reg
 		for r := range liveInto(a.S, t) {
 			if defined[r] && !seen[r] {
 				seen[r] = true
-				a.LiveOutRegs = append(a.LiveOutRegs, r)
+				regs = append(regs, r)
 			}
 		}
+		sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+		a.LiveOutRegs = append(a.LiveOutRegs, regs...)
 	}
 }
 

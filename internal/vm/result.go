@@ -1,0 +1,35 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Result serialisation for the durable artifact cache
+// (internal/artcache): a native baseline is a deterministic function
+// of the binary, so its Result can be stored on disk and replayed
+// byte-for-byte. JSON is used deliberately — Go round-trips every
+// int64/uint64/float64 struct field exactly (values decode into typed
+// fields, never through float64), and the encoding is self-describing
+// enough that a field mismatch is detected rather than silently
+// misread. Layout changes to Result must bump the caller's artifact
+// kind tag (see janus's cache glue), invalidating old entries.
+
+// EncodeResult serialises r for the artifact cache.
+func EncodeResult(r *Result) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// DecodeResult parses an EncodeResult payload. Unknown fields are an
+// error: a payload written by a Result with extra fields belongs to a
+// different schema and must be recomputed, not half-read.
+func DecodeResult(data []byte) (*Result, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	r := new(Result)
+	if err := dec.Decode(r); err != nil {
+		return nil, fmt.Errorf("vm: decode cached result: %w", err)
+	}
+	return r, nil
+}

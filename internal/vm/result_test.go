@@ -1,0 +1,54 @@
+package vm
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestResultEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Result
+	}{
+		{"zero", Result{}},
+		{"typical", Result{
+			Exit:     42,
+			Output:   []uint64{0, 1, math.MaxUint64, 0xdeadbeef},
+			Cycles:   1_234_567,
+			Insts:    7_654_321,
+			MemHash:  0x1234_5678_9abc_def0,
+			DataHash: math.MaxUint64,
+		}},
+		{"negative exit", Result{Exit: -1, Cycles: math.MaxInt64, Insts: math.MinInt64}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := EncodeResult(&tc.r)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, err := DecodeResult(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(*got, tc.r) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, tc.r)
+			}
+		})
+	}
+}
+
+func TestDecodeResultRejectsUnknownFields(t *testing.T) {
+	if _, err := DecodeResult([]byte(`{"Exit":0,"Bogus":1}`)); err == nil {
+		t.Fatal("payload with unknown field decoded without error")
+	}
+}
+
+func TestDecodeResultRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, []byte("not json"), []byte(`[1,2]`)} {
+		if _, err := DecodeResult(data); err == nil {
+			t.Fatalf("garbage %q decoded without error", data)
+		}
+	}
+}

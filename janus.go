@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"janus/internal/analyzer"
+	"janus/internal/artcache"
 	"janus/internal/dbm"
 	"janus/internal/faultinject"
 	"janus/internal/obj"
@@ -77,6 +78,13 @@ type Config struct {
 	// recovery counters (ParRecoveries, DemotedLoops) without plumbing
 	// them through every figure's return value.
 	OnStats func(dbm.Stats)
+	// Cache, when non-nil, is the durable artifact tier: native
+	// baselines, training profiles and DBM results are looked up on
+	// disk by content fingerprint before being recomputed, and
+	// published after. Results are byte-identical with or without it
+	// (fault-injected runs bypass it, see cache.go). Nil disables the
+	// tier; the in-memory memos still apply.
+	Cache *artcache.Cache
 }
 
 // Report is the outcome of a full Janus run.
@@ -128,7 +136,7 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 				return nil, fmt.Errorf("janus: train analysis: %w", err)
 			}
 		}
-		pr, err := runProfilingMemo(trainExe, trainProg, libs...)
+		pr, err := runProfilingMemo(cfg.Cache, trainExe, trainProg, libs...)
 		if err != nil {
 			return nil, fmt.Errorf("janus: profiling: %w", err)
 		}
@@ -150,7 +158,7 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 		return nil, fmt.Errorf("janus: schedule generation: %w", err)
 	}
 
-	native, err := runNativeMemo(exe, libs...)
+	native, err := runNativeMemo(cfg.Cache, exe, libs...)
 	if err != nil {
 		return nil, fmt.Errorf("janus: native run: %w", err)
 	}
@@ -162,11 +170,7 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 	if cfg.Cost != nil {
 		dcfg.Cost = *cfg.Cost
 	}
-	ex, err := dbm.New(exe, sched, dcfg, libs...)
-	if err != nil {
-		return nil, err
-	}
-	res, err := ex.Run()
+	res, err := runDBMCached(cfg.Cache, exe, sched, dcfg, libs...)
 	if err != nil {
 		return nil, fmt.Errorf("janus: DBM run: %w", err)
 	}
@@ -175,7 +179,7 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 	}
 
 	if cfg.Verify {
-		if err := verify(native, res, ex); err != nil {
+		if err := verify(native, res); err != nil {
 			return nil, err
 		}
 	}
@@ -196,7 +200,11 @@ func Parallelise(exe *obj.Executable, cfg Config, libs ...*obj.Library) (*Report
 	}, nil
 }
 
-func verify(native *vm.Result, res *dbm.Result, ex *dbm.Executor) error {
+// verify compares the DBM result against native execution. It reads
+// res.DataHash rather than asking a live Executor: the two are the
+// same hash (Run records ex.DataHash() into the Result), and a
+// cache-replayed result has no Executor behind it.
+func verify(native *vm.Result, res *dbm.Result) error {
 	if len(native.Output) != len(res.Output) {
 		return fmt.Errorf("janus: verification failed: %d outputs vs %d native", len(res.Output), len(native.Output))
 	}
@@ -205,7 +213,7 @@ func verify(native *vm.Result, res *dbm.Result, ex *dbm.Executor) error {
 			return fmt.Errorf("janus: verification failed: output %d is %#x, native %#x", i, res.Output[i], native.Output[i])
 		}
 	}
-	if ex.DataHash() != native.DataHash {
+	if res.DataHash != native.DataHash {
 		return fmt.Errorf("janus: verification failed: final memory image differs from native")
 	}
 	return nil
@@ -263,15 +271,11 @@ func RunProfiling(exe *obj.Executable, prog *analyzer.Program, libs ...*obj.Libr
 // is memoised per executable: native execution is deterministic, so
 // repeated baseline runs of the same binary return the cached result.
 func RunNativeBaseline(exe *obj.Executable, libs ...*obj.Library) (*vm.Result, error) {
-	return runNativeMemo(exe, libs...)
+	return runNativeMemo(nil, exe, libs...)
 }
 
 // RunBareDBM executes exe under the DBM with no rewrite schedule (the
 // "DynamoRIO only" baseline of figure 7).
 func RunBareDBM(exe *obj.Executable, libs ...*obj.Library) (*dbm.Result, error) {
-	ex, err := dbm.New(exe, nil, dbm.Config{Threads: 1, Cost: dbm.DefaultCost(), MaxSteps: vm.DefaultMaxSteps}, libs...)
-	if err != nil {
-		return nil, err
-	}
-	return ex.Run()
+	return RunBareDBMCached(nil, exe, libs...)
 }

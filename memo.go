@@ -2,6 +2,7 @@ package janus
 
 import (
 	"janus/internal/analyzer"
+	"janus/internal/artcache"
 	"janus/internal/obj"
 	"janus/internal/singleflight"
 	"janus/internal/vm"
@@ -20,6 +21,14 @@ import (
 // stable executable per (name, input, opt), so a pointer can never
 // alias two different programs — and each table is bounded so
 // long-lived processes cannot grow it without limit.
+//
+// Beneath the in-memory tier sits the optional durable tier
+// (internal/artcache, wired through Config.Cache): on a memory miss
+// the flight function first consults the on-disk store, keyed by
+// content fingerprint rather than pointer, and publishes what it
+// computes. The analysis memo is the exception — an analyzer.Program
+// is a live CFG/SSA object graph with no serialised form, so it stays
+// memory → compute only; re-analysis is cheap relative to execution.
 
 // memoLimit bounds each memo table (the harness working set is far
 // smaller); eviction keeps in-flight entries, so the run-exactly-once
@@ -47,15 +56,33 @@ var nativeFlight = singleflight.Flight[runKey, *vm.Result]{Limit: memoLimit}
 
 // runNativeMemo returns the (deterministic) native execution result for
 // exe, running it at most once per (executable, libraries) even under
-// concurrent callers.
-func runNativeMemo(exe *obj.Executable, libs ...*obj.Library) (*vm.Result, error) {
+// concurrent callers, and consulting the durable cache c (nil = none)
+// on a memory miss.
+func runNativeMemo(c *artcache.Cache, exe *obj.Executable, libs ...*obj.Library) (*vm.Result, error) {
+	compute := func() (*vm.Result, error) {
+		if c == nil {
+			return vm.RunNative(exe, libs...)
+		}
+		k := artcache.Key{Kind: kindNative, Binary: binaryKey(exe, libs)}
+		if data, hit := c.Get(k); hit {
+			if res, err := vm.DecodeResult(data); err == nil {
+				return res, nil
+			}
+		}
+		res, err := vm.RunNative(exe, libs...)
+		if err != nil {
+			return nil, err
+		}
+		if data, err := vm.EncodeResult(res); err == nil {
+			_ = c.Put(k, data)
+		}
+		return res, nil
+	}
 	lk, ok := libsKeyOf(libs)
 	if !ok {
-		return vm.RunNative(exe, libs...)
+		return compute()
 	}
-	return nativeFlight.Do(runKey{exe: exe, libs: lk}, func() (*vm.Result, error) {
-		return vm.RunNative(exe, libs...)
-	})
+	return nativeFlight.Do(runKey{exe: exe, libs: lk}, compute)
 }
 
 var analyzeFlight = singleflight.Flight[*obj.Executable, *analyzer.Program]{Limit: memoLimit}
@@ -63,7 +90,9 @@ var analyzeFlight = singleflight.Flight[*obj.Executable, *analyzer.Program]{Limi
 // runAnalyzeMemo returns the static analysis of exe, running it at
 // most once per executable. The shared Program is read-only in the
 // profiling path (GenProfileSchedule builds a fresh schedule; the
-// Apply* mutators are only ever called on per-run analyses).
+// Apply* mutators are only ever called on per-run analyses). Analysis
+// results never reach the durable tier: a Program is an in-memory
+// object graph with no serialised form.
 func runAnalyzeMemo(exe *obj.Executable) (*analyzer.Program, error) {
 	return analyzeFlight.Do(exe, func() (*analyzer.Program, error) {
 		return analyzer.Analyze(exe)
@@ -83,13 +112,34 @@ var profileFlight = singleflight.Flight[profileKey, *ProfileResult]{Limit: memoL
 
 // runProfilingMemo returns the training-stage profile for exe under
 // prog, running it at most once per (executable, analysis, libraries)
-// even under concurrent callers.
-func runProfilingMemo(exe *obj.Executable, prog *analyzer.Program, libs ...*obj.Library) (*ProfileResult, error) {
+// even under concurrent callers, and consulting the durable cache c
+// (nil = none) on a memory miss. The durable key omits prog: every
+// Program reaching this memo is a fresh deterministic analysis of exe
+// (the Apply* mutations happen downstream on ref analyses), so the
+// binary fingerprint subsumes it.
+func runProfilingMemo(c *artcache.Cache, exe *obj.Executable, prog *analyzer.Program, libs ...*obj.Library) (*ProfileResult, error) {
+	compute := func() (*ProfileResult, error) {
+		if c == nil {
+			return RunProfiling(exe, prog, libs...)
+		}
+		k := artcache.Key{Kind: kindProfile, Binary: binaryKey(exe, libs)}
+		if data, hit := c.Get(k); hit {
+			if pr, err := decodeProfile(data); err == nil {
+				return pr, nil
+			}
+		}
+		pr, err := RunProfiling(exe, prog, libs...)
+		if err != nil {
+			return nil, err
+		}
+		if data, err := encodeProfile(pr); err == nil {
+			_ = c.Put(k, data)
+		}
+		return pr, nil
+	}
 	lk, ok := libsKeyOf(libs)
 	if !ok {
-		return RunProfiling(exe, prog, libs...)
+		return compute()
 	}
-	return profileFlight.Do(profileKey{exe: exe, prog: prog, libs: lk}, func() (*ProfileResult, error) {
-		return RunProfiling(exe, prog, libs...)
-	})
+	return profileFlight.Do(profileKey{exe: exe, prog: prog, libs: lk}, compute)
 }
