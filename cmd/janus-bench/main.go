@@ -29,6 +29,24 @@
 //	                                     run (figures gain gen/* rows;
 //	                                     default output is unchanged when
 //	                                     the flag is absent)
+//	janus-bench -campaign CORPUSDIR      run a resumable shape-vector fuzz
+//	                                     campaign: breed shapes from the
+//	                                     persisted corpus, keep the ones
+//	                                     that cover new coverage cells, and
+//	                                     graduate divergence-finding shapes
+//	                                     into regression fixtures. Safe to
+//	                                     kill -9 and re-run: the corpus
+//	                                     directory is published atomically
+//	                                     and the campaign resumes where it
+//	                                     stopped. Prints a stats line and
+//	                                     exits nonzero on divergence; the
+//	                                     default figure/table output is not
+//	                                     produced in this mode.
+//	janus-bench -campaign-secs 30        campaign time budget in seconds
+//	                                     (default 30; used with -campaign)
+//	janus-bench -campaign-seed 1         campaign decision-stream seed; a
+//	                                     corpus dir remembers its seed and
+//	                                     refuses to resume under another
 //	janus-bench -cache-dir .janus-cache  store builds, native baselines,
 //	                                     profiles and DBM results in a
 //	                                     durable on-disk artifact cache;
@@ -42,6 +60,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"janus/internal/artcache"
 	"janus/internal/faultinject"
@@ -60,6 +79,9 @@ func main() {
 	engineJSON := flag.String("engine-json", "", "run the execution-engine micro-benchmarks and write a JSON perf snapshot to this path")
 	inject := flag.String("inject", "", "arm deterministic fault injection in speculative regions, spec point[@every][#seed] with point one of scan-defeat, worker-panic, stall, budget (recovery keeps stdout byte-identical; summary on stderr)")
 	genCorpus := flag.Int("gen-corpus", 0, "screen N seeded generated kernels against the differential oracle and graduate interesting ones into this run's benchmark corpus (0 = off; the default suite and its golden output are unchanged)")
+	campaign := flag.String("campaign", "", "run a resumable shape-vector fuzz campaign persisting its corpus in this directory (skips figure/table rendering; exits nonzero on divergence)")
+	campaignSecs := flag.Int("campaign-secs", 30, "campaign time budget in seconds (with -campaign)")
+	campaignSeed := flag.Uint64("campaign-seed", 1, "campaign decision-stream seed (with -campaign); a corpus dir refuses to resume under a different seed")
 	cacheDir := flag.String("cache-dir", "", "durable artifact cache directory (empty = off); figure/table outputs are byte-identical with the cache off, cold or warm, and the directory is safe to share between processes")
 	flag.Parse()
 
@@ -87,6 +109,27 @@ func main() {
 
 	if *engineJSON != "" {
 		exitOn(writeEngineSnapshot(*engineJSON, opts))
+		return
+	}
+
+	if *campaign != "" {
+		// Campaign mode replaces figure/table rendering entirely: the
+		// default suite, its registry and the golden output are untouched.
+		stats, err := genkern.RunCampaign(genkern.CampaignConfig{
+			Dir:      *campaign,
+			Seed:     *campaignSeed,
+			Duration: time.Duration(*campaignSecs) * time.Second,
+			Threads:  opts.Threads,
+			Log:      os.Stderr,
+		})
+		exitOn(err)
+		fmt.Println(stats)
+		if len(stats.Divergences) > 0 {
+			for _, d := range stats.Divergences {
+				fmt.Fprintln(os.Stderr, "janus-bench:", d.Err)
+			}
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -1,0 +1,468 @@
+package genkern
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Resumable corpus-guided fuzzing campaigns.
+//
+// A campaign owns a directory:
+//
+//	<dir>/corpus/<genome-hex>.entry   retained shapes + their cells
+//	<dir>/state                       iteration counter + campaign seed
+//	<dir>/regressions/<id>.shape      graduated divergence repros
+//
+// Every file is published artcache-style — streamed into a temporary
+// file in the same directory and renamed over the final path — so a
+// reader (or a resumed campaign after kill -9) only ever observes a
+// complete file or none at all; there are no torn entries to repair.
+//
+// The campaign is deterministic given (corpus dir, seed): iteration i
+// derives its own rng from (seed, i), the corpus is ordered by the
+// iteration that admitted each entry, and retention depends only on
+// the coverage union of the entries loaded plus the runs replayed. A
+// campaign killed at any point and restarted continues exactly where
+// the persisted corpus and state left it.
+
+// CampaignConfig configures RunCampaign.
+type CampaignConfig struct {
+	// Dir roots the campaign state (created if missing).
+	Dir string
+	// Seed names the campaign's deterministic decision stream. A dir
+	// remembers its seed; resuming with a different one is an error.
+	Seed uint64
+	// Duration bounds wall-clock time (0 = no time bound).
+	Duration time.Duration
+	// MaxIters bounds iterations (0 = no iteration bound). At least one
+	// of Duration/MaxIters must be set.
+	MaxIters int
+	// Threads is the guest thread count for oracle runs (default 8).
+	Threads int
+	// Plant arms Options.PlantDOALL on every oracle run: the campaign
+	// then hunts for shapes on which the planted analyser
+	// mis-classification arms and is caught (the oracle self-test).
+	Plant bool
+	// StopOnDivergence ends the campaign at the first divergence
+	// (after minimising and graduating it).
+	StopOnDivergence bool
+	// MinimiseBudget bounds oracle evaluations per minimisation
+	// (default 200).
+	MinimiseBudget int
+	// RegressionsDir overrides where graduated divergence fixtures are
+	// written (default <Dir>/regressions). Point it at
+	// internal/genkern/testdata/regressions to land fixtures directly
+	// in the tier-1 replay set.
+	RegressionsDir string
+	// Log receives one-line progress events (nil = discard).
+	Log io.Writer
+}
+
+// Divergence is one campaign-found oracle failure, after minimisation.
+type Divergence struct {
+	// Shape is the minimised failing shape; Seed its input-data seed.
+	Shape Shape
+	Seed  uint64
+	// Err is the oracle failure the minimised shape reproduces.
+	Err error
+	// Fixture is the graduated regression file path.
+	Fixture string
+}
+
+// CampaignStats summarises one RunCampaign invocation.
+type CampaignStats struct {
+	// Iters is this run's iteration count; StartIter the global
+	// iteration the run resumed from (0 on a fresh dir).
+	Iters, StartIter int
+	// Corpus is the retained-entry count at exit; Cells the distinct
+	// covered cells; NewCells the cells first covered by this run.
+	Corpus, Cells, NewCells int
+	// Divergences lists this run's minimised, graduated failures.
+	Divergences []Divergence
+	// Elapsed is this run's wall-clock time.
+	Elapsed time.Duration
+	// Resumed reports whether the dir already held campaign state.
+	Resumed bool
+}
+
+// String renders the one-line machine-parsable summary janus-bench
+// prints (and the CI smoke job greps).
+func (s *CampaignStats) String() string {
+	return fmt.Sprintf("campaign: iters=%d start-iter=%d corpus=%d cells=%d new-cells=%d divergences=%d elapsed=%.1fs resumed=%v",
+		s.Iters, s.StartIter, s.Corpus, s.Cells, s.NewCells, len(s.Divergences), s.Elapsed.Seconds(), s.Resumed)
+}
+
+// corpusEntry is one retained shape.
+type corpusEntry struct {
+	shape Shape
+	seed  uint64
+	iter  int
+	cells []Cell
+}
+
+const (
+	entryHeader = "janus-campaign-entry v1"
+	stateHeader = "janus-campaign-state v1"
+)
+
+// atomicWrite publishes data at path via temp-file + rename in the
+// destination directory (the artcache publication pattern).
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+func encodeEntry(e corpusEntry) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", entryHeader)
+	fmt.Fprintf(&b, "shape %s\n", ShapeHex(e.shape))
+	fmt.Fprintf(&b, "seed %d\n", e.seed)
+	fmt.Fprintf(&b, "iter %d\n", e.iter)
+	for _, c := range e.cells {
+		r := 0
+		if c.Recovered {
+			r = 1
+		}
+		fmt.Fprintf(&b, "cell %d %d %d %d %d %d\n", c.Kind, c.DistBucket, c.Alias, c.Verdict, c.Engine, r)
+	}
+	return []byte(b.String())
+}
+
+// decodeEntry parses an entry file; any malformed content is an error
+// (the caller treats it as a foreign file and skips it — atomic
+// publication means a campaign never writes one).
+func decodeEntry(data []byte) (corpusEntry, error) {
+	var e corpusEntry
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	if !sc.Scan() || sc.Text() != entryHeader {
+		return e, fmt.Errorf("genkern: not a campaign entry")
+	}
+	haveShape := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "shape "):
+			sh, err := ParseShapeHex(strings.TrimPrefix(line, "shape "))
+			if err != nil {
+				return e, err
+			}
+			e.shape, haveShape = sh, true
+		case strings.HasPrefix(line, "seed "):
+			if _, err := fmt.Sscanf(line, "seed %d", &e.seed); err != nil {
+				return e, err
+			}
+		case strings.HasPrefix(line, "iter "):
+			if _, err := fmt.Sscanf(line, "iter %d", &e.iter); err != nil {
+				return e, err
+			}
+		case strings.HasPrefix(line, "cell "):
+			var k, d, a, v, eng, r int
+			if _, err := fmt.Sscanf(line, "cell %d %d %d %d %d %d", &k, &d, &a, &v, &eng, &r); err != nil {
+				return e, err
+			}
+			e.cells = append(e.cells, Cell{
+				Kind: SegKind(k), DistBucket: uint8(d), Alias: uint8(a),
+				Verdict: uint8(v), Engine: uint8(eng), Recovered: r != 0,
+			})
+		default:
+			return e, fmt.Errorf("genkern: bad entry line %q", line)
+		}
+	}
+	if !haveShape {
+		return e, fmt.Errorf("genkern: entry missing shape")
+	}
+	return e, nil
+}
+
+// campaignState is the persisted (seed, next iteration) pair.
+type campaignState struct {
+	seed uint64
+	iter int
+}
+
+func loadState(path string) (campaignState, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return campaignState{}, false, nil
+		}
+		return campaignState{}, false, err
+	}
+	var st campaignState
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 || lines[0] != stateHeader {
+		return campaignState{}, false, fmt.Errorf("genkern: malformed campaign state %s", path)
+	}
+	if _, err := fmt.Sscanf(lines[1], "seed %d", &st.seed); err != nil {
+		return campaignState{}, false, fmt.Errorf("genkern: malformed campaign state %s: %v", path, err)
+	}
+	if _, err := fmt.Sscanf(lines[2], "iter %d", &st.iter); err != nil {
+		return campaignState{}, false, fmt.Errorf("genkern: malformed campaign state %s: %v", path, err)
+	}
+	return st, true, nil
+}
+
+func saveState(path string, st campaignState) error {
+	return atomicWrite(path, []byte(fmt.Sprintf("%s\nseed %d\niter %d\n", stateHeader, st.seed, st.iter)))
+}
+
+// loadCorpus reads every published entry, skipping temp files and
+// anything that fails to parse (foreign files), and orders the corpus
+// by admission iteration so parent selection replays deterministically.
+func loadCorpus(dir string) ([]corpusEntry, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []corpusEntry
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".entry") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			continue
+		}
+		e, err := decodeEntry(data)
+		if err != nil {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].iter != out[j].iter {
+			return out[i].iter < out[j].iter
+		}
+		return ShapeHex(out[i].shape) < ShapeHex(out[j].shape)
+	})
+	return out, nil
+}
+
+// iterRng derives iteration i's private decision stream from the
+// campaign seed; splitmix streams never overlap for distinct i.
+func iterRng(seed uint64, iter int) *rng {
+	return newRng(seed ^ (uint64(iter)+1)*0x9e3779b97f4a7c15 ^ 0xca3a16ca3a16)
+}
+
+// graduate writes the minimised divergence as a regression fixture.
+func graduate(dir string, min MinimiseResult) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# janus genkern graduated regression\n")
+	fmt.Fprintf(&b, "# failure: %s\n", firstLine(min.Err.Error()))
+	fmt.Fprintf(&b, "# %s\n", min.Repro())
+	fmt.Fprintf(&b, "seed %d\n", min.Seed)
+	fmt.Fprintf(&b, "shape %s\n", ShapeHex(min.Shape))
+	path := filepath.Join(dir, shortShapeID(min.Shape)+".shape")
+	if err := atomicWrite(path, []byte(b.String())); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ParseRegression parses a graduated *.shape regression fixture:
+// '#'-prefixed comment lines, then "seed <n>" and "shape <hex>" lines.
+func ParseRegression(data []byte) (Shape, uint64, error) {
+	var (
+		shape     Shape
+		seed      uint64
+		haveShape bool
+	)
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "seed "):
+			if _, err := fmt.Sscanf(line, "seed %d", &seed); err != nil {
+				return Shape{}, 0, fmt.Errorf("genkern: regression fixture: %v", err)
+			}
+		case strings.HasPrefix(line, "shape "):
+			sh, err := ParseShapeHex(strings.TrimPrefix(line, "shape "))
+			if err != nil {
+				return Shape{}, 0, err
+			}
+			shape, haveShape = sh, true
+		default:
+			return Shape{}, 0, fmt.Errorf("genkern: regression fixture: bad line %q", line)
+		}
+	}
+	if !haveShape {
+		return Shape{}, 0, fmt.Errorf("genkern: regression fixture carries no shape line")
+	}
+	return shape, seed, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// RunCampaign runs (or resumes) the campaign described by cfg and
+// returns its stats. Oracle divergences are minimised, graduated as
+// regression fixtures and reported in the stats; they do not abort the
+// campaign unless StopOnDivergence is set.
+func RunCampaign(cfg CampaignConfig) (*CampaignStats, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("genkern: campaign needs a directory")
+	}
+	if cfg.Duration <= 0 && cfg.MaxIters <= 0 {
+		return nil, fmt.Errorf("genkern: campaign needs a time or iteration bound")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	if cfg.MinimiseBudget <= 0 {
+		cfg.MinimiseBudget = 200
+	}
+	if cfg.RegressionsDir == "" {
+		cfg.RegressionsDir = filepath.Join(cfg.Dir, "regressions")
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "campaign: "+format+"\n", args...)
+		}
+	}
+
+	corpusDir := filepath.Join(cfg.Dir, "corpus")
+	statePath := filepath.Join(cfg.Dir, "state")
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		return nil, fmt.Errorf("genkern: campaign: %w", err)
+	}
+	st, resumed, err := loadState(statePath)
+	if err != nil {
+		return nil, err
+	}
+	if resumed && st.seed != cfg.Seed {
+		return nil, fmt.Errorf("genkern: campaign dir %s was started with seed %d, cannot resume with seed %d", cfg.Dir, st.seed, cfg.Seed)
+	}
+	st.seed = cfg.Seed
+	corpus, err := loadCorpus(corpusDir)
+	if err != nil {
+		return nil, err
+	}
+	cov := NewCoverage()
+	seen := map[string]bool{}
+	for _, e := range corpus {
+		cov.Add(e.cells)
+		seen[ShapeHex(e.shape)] = true
+	}
+	stats := &CampaignStats{StartIter: st.iter, Resumed: resumed}
+	if resumed {
+		logf("resumed at iter %d: corpus %d entries, %d cells covered", st.iter, len(corpus), cov.Size())
+	}
+
+	start := time.Now()
+	opts := Options{Threads: cfg.Threads, PlantDOALL: cfg.Plant}
+	for {
+		if cfg.Duration > 0 && time.Since(start) >= cfg.Duration {
+			break
+		}
+		if cfg.MaxIters > 0 && stats.Iters >= cfg.MaxIters {
+			break
+		}
+		iter := st.iter
+		r := iterRng(cfg.Seed, iter)
+		mut := &Mutator{r: r}
+
+		// Breeding: mostly mutate a corpus parent, sometimes cross two,
+		// sometimes inject a fresh shape to keep diversity up.
+		var shape Shape
+		switch {
+		case len(corpus) == 0 || r.intn(4) == 0:
+			shape = mut.Fresh()
+		case len(corpus) >= 2 && r.intn(4) == 0:
+			a := corpus[r.intn(len(corpus))]
+			b := corpus[r.intn(len(corpus))]
+			shape = mut.Mutate(mut.Crossover(a.shape, b.shape))
+		default:
+			shape = mut.Mutate(corpus[r.intn(len(corpus))].shape)
+		}
+		// Masked to 63 bits so the -genkern.seed replay flag (an int64)
+		// can always name it.
+		inputSeed := (cfg.Seed ^ (uint64(iter)+1)*0x2545f4914f6cdd1d) &^ (1 << 63)
+
+		rep, derr := DiffShape(shape, inputSeed, opts)
+		switch {
+		case derr == nil:
+			cells := CellsOf(shape, rep)
+			if fresh := cov.Add(cells); fresh > 0 {
+				hexStr := ShapeHex(shape)
+				if !seen[hexStr] {
+					e := corpusEntry{shape: shape, seed: inputSeed, iter: iter, cells: cells}
+					if err := atomicWrite(filepath.Join(corpusDir, hexStr+".entry"), encodeEntry(e)); err != nil {
+						return stats, fmt.Errorf("genkern: campaign: %w", err)
+					}
+					corpus = append(corpus, e)
+					seen[hexStr] = true
+				}
+				stats.NewCells += fresh
+				logf("iter %d: +%d cells (total %d), corpus %d", iter, fresh, cov.Size(), len(corpus))
+			}
+		case errors.Is(derr, ErrPlantInert):
+			// The planted bug could not arm on this shape; nothing to
+			// learn, nothing to retain.
+		default:
+			logf("iter %d: DIVERGENCE: %s", iter, firstLine(derr.Error()))
+			min := Minimise(shape, inputSeed, opts, cfg.MinimiseBudget)
+			if min.Err == nil {
+				// Defensive: the budget was too small to even confirm
+				// the baseline failure; graduate the unminimised shape.
+				min.Shape, min.Err = NormaliseShape(shape), derr
+			}
+			fixture, gerr := graduate(cfg.RegressionsDir, min)
+			if gerr != nil {
+				return stats, fmt.Errorf("genkern: campaign: graduating divergence: %w", gerr)
+			}
+			logf("iter %d: minimised to %d segment(s) in %d evals; graduated %s", iter, len(min.Shape.Segs), min.Evals, fixture)
+			logf("iter %d: %s", iter, min.Repro())
+			stats.Divergences = append(stats.Divergences, Divergence{
+				Shape: min.Shape, Seed: min.Seed, Err: min.Err, Fixture: fixture,
+			})
+		}
+
+		st.iter++
+		stats.Iters++
+		if err := saveState(statePath, st); err != nil {
+			return stats, fmt.Errorf("genkern: campaign: %w", err)
+		}
+		if cfg.StopOnDivergence && len(stats.Divergences) > 0 {
+			break
+		}
+	}
+	stats.Corpus = len(corpus)
+	stats.Cells = cov.Size()
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}

@@ -37,6 +37,27 @@ func TestDefaultSuiteUnchangedByGenerator(t *testing.T) {
 	}
 }
 
+// TestCampaignLeavesRegistryUntouched extends the registry guard to
+// the campaign path: campaigning retains shapes in its corpus directory
+// and graduates fixtures as files — it must never register kernels into
+// the workload suite, so the default janus-bench output stays pinned to
+// the golden fixture with campaigning off (or on).
+func TestCampaignLeavesRegistryUntouched(t *testing.T) {
+	before := workloads.Names()
+	if _, err := RunCampaign(CampaignConfig{Dir: t.TempDir(), Seed: 3, MaxIters: 8}); err != nil {
+		t.Fatal(err)
+	}
+	after := workloads.Names()
+	if len(before) != len(after) {
+		t.Fatalf("campaign changed the workload registry: %d -> %d entries", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("campaign changed the workload registry: %q -> %q", before[i], after[i])
+		}
+	}
+}
+
 // TestScreenAndGraduate exercises the -gen-corpus path end to end:
 // screening finds interesting kernels, graduation registers them into
 // the workload suite, and the registered builds hand back the

@@ -1,6 +1,7 @@
 package genkern
 
 import (
+	"errors"
 	"fmt"
 
 	"janus/internal/analyzer"
@@ -72,14 +73,49 @@ func repro(seed uint64) string {
 	return fmt.Sprintf("repro: go test ./internal/genkern -run TestSeededCorpus -genkern.seed=%d", seed)
 }
 
+// Repro names the command that replays this kernel through the oracle:
+// the seed form when the shape is seed-derived, the genome-hex form for
+// fuzzer-built shapes (with -genkern.seed naming the input data).
+func (k *Kernel) Repro() string {
+	if k.seedDerived {
+		return repro(k.Seed)
+	}
+	return shapeRepro(k.Shape, k.Seed)
+}
+
+func shapeRepro(sh Shape, seed uint64) string {
+	return fmt.Sprintf("repro: go test ./internal/genkern -run TestShapeRepro -genkern.shape=%s -genkern.seed=%d", ShapeHex(sh), seed)
+}
+
 func (k *Kernel) failf(format string, args ...any) error {
-	return fmt.Errorf("genkern: seed %d (%s): %s; %s", k.Seed, k.Name, fmt.Sprintf(format, args...), repro(k.Seed))
+	return fmt.Errorf("genkern: seed %d (%s): %s; %s", k.Seed, k.Name, fmt.Sprintf(format, args...), k.Repro())
+}
+
+// ErrPlantInert marks a PlantDOALL run where the planted
+// mis-classification could not arm (no statically-proven carried loop,
+// or the planted loop was not selected so the bug cannot reach the
+// engines). Campaign drivers treat it as a clean outcome: the shape
+// simply cannot exhibit the planted bug.
+var ErrPlantInert = errors.New("planted mis-classification could not arm")
+
+func (k *Kernel) failInert(format string, args ...any) error {
+	return fmt.Errorf("genkern: seed %d (%s): %s: %w; %s", k.Seed, k.Name, fmt.Sprintf(format, args...), ErrPlantInert, k.Repro())
 }
 
 // DiffSeed generates the kernel named by seed and runs the full
 // differential oracle over it.
 func DiffSeed(seed uint64, o Options) (*Report, error) {
 	k, err := Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunDiff(k, o)
+}
+
+// DiffShape generates the kernel described by shape (with seed naming
+// only its input data) and runs the full differential oracle over it.
+func DiffShape(shape Shape, seed uint64, o Options) (*Report, error) {
+	k, err := GenerateShape(shape, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +214,7 @@ func RunDiff(k *Kernel, o Options) (*Report, error) {
 
 	if o.PlantDOALL {
 		if planted == nil {
-			return nil, k.failf("plant requested but no statically-proven carried loop exists in this kernel")
+			return nil, k.failInert("plant requested but no statically-proven carried loop exists in this kernel")
 		}
 		// The planted soundness bug: promote a known-carried loop to
 		// static-DOALL, exactly what a broken dependence test would do.
@@ -222,7 +258,7 @@ func RunDiff(k *Kernel, o Options) (*Report, error) {
 		rep.note("missed-parallelisation")
 	}
 	if o.PlantDOALL && rep.Planted != nil && !rep.Planted.Selected {
-		return nil, k.failf("planted loop was not selected (coverage %.3f): the plant cannot reach the engines", rep.Planted.Coverage)
+		return nil, k.failInert("planted loop was not selected (coverage %.3f): the plant cannot reach the engines", rep.Planted.Coverage)
 	}
 
 	sched, err := prog.GenParallelSchedule()

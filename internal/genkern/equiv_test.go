@@ -1,0 +1,82 @@
+package genkern
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The corpus-hash fixture pins the exact executables the tier-1 corpus
+// seeds produce. It was generated from the pre-GenerateShape Generate
+// implementation, so it proves the Generate -> GenerateShape(DeriveShape)
+// refactor is byte-for-byte behaviour preserving: every ref and train
+// fingerprint must match what the old code built.
+//
+// Regenerate after an intentional generator change (which also requires
+// a workloads.BuildSchema bump) with:
+//
+//	go test ./internal/genkern -run TestGenerateShapeEquivalence -genkern.update-hashes
+var updateHashes = flag.Bool("genkern.update-hashes", false, "rewrite testdata/corpus-hashes.golden from a fresh generation pass")
+
+const corpusHashPath = "testdata/corpus-hashes.golden"
+
+func TestGenerateShapeEquivalence(t *testing.T) {
+	if *updateHashes {
+		var b strings.Builder
+		for seed := uint64(1); seed <= uint64(corpusSeeds); seed++ {
+			k, err := Generate(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&b, "s%d %s %s\n", seed, k.Ref.Fingerprint(), k.Train.Fingerprint())
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.FromSlash(corpusHashPath), []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", corpusHashPath)
+		return
+	}
+
+	f, err := os.Open(filepath.FromSlash(corpusHashPath))
+	if err != nil {
+		t.Fatalf("missing corpus-hash fixture (generate with -genkern.update-hashes): %v", err)
+	}
+	defer f.Close()
+	want := map[uint64][2]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var seed uint64
+		var ref, train string
+		if _, err := fmt.Sscanf(sc.Text(), "s%d %s %s", &seed, &ref, &train); err != nil {
+			t.Fatalf("bad fixture line %q: %v", sc.Text(), err)
+		}
+		want[seed] = [2]string{ref, train}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != corpusSeeds {
+		t.Fatalf("fixture covers %d seeds, corpus has %d", len(want), corpusSeeds)
+	}
+
+	for seed := uint64(1); seed <= uint64(corpusSeeds); seed++ {
+		k, err := Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := want[seed]
+		if got := k.Ref.Fingerprint(); got != w[0] {
+			t.Fatalf("seed %d: ref executable fingerprint %s, fixture %s (generator output changed)", seed, got, w[0])
+		}
+		if got := k.Train.Fingerprint(); got != w[1] {
+			t.Fatalf("seed %d: train executable fingerprint %s, fixture %s (generator output changed)", seed, got, w[1])
+		}
+	}
+}

@@ -179,6 +179,9 @@ type Kernel struct {
 	Truth      []LoopTruth
 
 	byHeader map[uint64]*LoopTruth
+	// seedDerived marks kernels whose shape is exactly DeriveShape(Seed),
+	// so failure repros can name the seed instead of the genome hex.
+	seedDerived bool
 }
 
 // TruthByHeader returns the ground truth for the loop whose header
@@ -227,37 +230,65 @@ func DeriveShape(seed uint64) Shape {
 
 // Generate builds the kernel named by seed: ref and train executables
 // with identical layout, the ground-truth table, and any libraries the
-// program links against.
+// program links against. It is exactly
+// GenerateShape(DeriveShape(seed), seed) — the seed expands to a shape
+// and then only names the input data.
 func Generate(seed uint64) (*Kernel, error) {
-	shape := DeriveShape(seed)
+	return GenerateShape(DeriveShape(seed), seed)
+}
+
+// GenerateShape builds the kernel described by shape. The structure
+// (segment kinds, trip counts, distances, alias layouts) comes entirely
+// from the shape vector; seed names only the generated input data, so
+// the fuzzer can hold inputs fixed while mutating structure or vice
+// versa. The shape must pass Validate (DecodeShape output always does).
+func GenerateShape(shape Shape, seed uint64) (*Kernel, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	seedDerived := shapeEqual(shape, DeriveShape(seed))
 	name := fmt.Sprintf("gen/s%d", seed)
+	if !seedDerived {
+		name = fmt.Sprintf("gen/x%s-s%d", shortShapeID(shape), seed)
+	}
 	ref, refTruth, libs, err := emit(name, shape, refScale, seed)
 	if err != nil {
-		return nil, fmt.Errorf("genkern: seed %d: ref build: %w", seed, err)
+		return nil, fmt.Errorf("genkern: %s: ref build: %w", name, err)
 	}
 	train, trainTruth, _, err := emit(name, shape, 1, seed)
 	if err != nil {
-		return nil, fmt.Errorf("genkern: seed %d: train build: %w", seed, err)
+		return nil, fmt.Errorf("genkern: %s: train build: %w", name, err)
 	}
 	// The whole differential design rests on train and ref sharing one
 	// code layout (loop IDs map across builds); verify it.
 	if len(refTruth) != len(trainTruth) {
-		return nil, fmt.Errorf("genkern: seed %d: layout skew: %d ref loops vs %d train", seed, len(refTruth), len(trainTruth))
+		return nil, fmt.Errorf("genkern: %s: layout skew: %d ref loops vs %d train", name, len(refTruth), len(trainTruth))
 	}
 	for i := range refTruth {
 		if refTruth[i].Header != trainTruth[i].Header {
-			return nil, fmt.Errorf("genkern: seed %d: loop %d header %#x (ref) vs %#x (train)", seed, i, refTruth[i].Header, trainTruth[i].Header)
+			return nil, fmt.Errorf("genkern: %s: loop %d header %#x (ref) vs %#x (train)", name, i, refTruth[i].Header, trainTruth[i].Header)
 		}
 	}
 	k := &Kernel{
 		Seed: seed, Name: name, Shape: shape,
 		Ref: ref, Train: train, Libs: libs, Truth: refTruth,
-		byHeader: make(map[uint64]*LoopTruth, len(refTruth)),
+		byHeader:    make(map[uint64]*LoopTruth, len(refTruth)),
+		seedDerived: seedDerived,
 	}
 	for i := range k.Truth {
 		k.byHeader[k.Truth[i].Header] = &k.Truth[i]
 	}
 	return k, nil
+}
+
+// shortShapeID is a short stable digest of the genome used in kernel
+// names (full reproducibility comes from the hex genome in repros).
+func shortShapeID(shape Shape) string {
+	h := uint64(1469598103934665603)
+	for _, b := range EncodeShape(shape) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return fmt.Sprintf("%08x", uint32(h^h>>32))
 }
 
 // emitter threads builder state through segment emitters.

@@ -1,0 +1,123 @@
+package genkern
+
+import "errors"
+
+// Shape minimiser: given a shape whose oracle run fails, shrink it —
+// drop segments, then shrink trips, distances, widths — while
+// re-checking after every candidate that the failure is preserved. The
+// result is the smallest shape the budget reached, plus the repro
+// command to replay it.
+
+// MinimiseResult is the outcome of one minimisation.
+type MinimiseResult struct {
+	// Shape is the smallest failing shape found.
+	Shape Shape
+	// Seed is the input-data seed the failure reproduces under.
+	Seed uint64
+	// Evals counts oracle runs spent (bounded by the budget).
+	Evals int
+	// Err is the failure the minimised shape still produces.
+	Err error
+}
+
+// Repro is the one-line command that replays the minimised failure.
+func (m MinimiseResult) Repro() string { return shapeRepro(m.Shape, m.Seed) }
+
+// stillFails re-runs the oracle and reports whether the shape still
+// fails for a campaign-relevant reason (an inert plant is not a
+// failure).
+func stillFails(sh Shape, seed uint64, o Options) (bool, error) {
+	_, err := DiffShape(sh, seed, o)
+	if err == nil || errors.Is(err, ErrPlantInert) {
+		return false, nil
+	}
+	return true, err
+}
+
+// Minimise shrinks a failing shape while preserving its failure,
+// spending at most budget oracle evaluations. The input shape is
+// assumed to fail under (seed, o); if it does not, it is returned
+// unchanged with Err == nil.
+func Minimise(shape Shape, seed uint64, o Options, budget int) MinimiseResult {
+	res := MinimiseResult{Shape: NormaliseShape(shape), Seed: seed}
+	check := func(cand Shape) bool {
+		if res.Evals >= budget {
+			return false
+		}
+		res.Evals++
+		ok, err := stillFails(cand, seed, o)
+		if ok {
+			res.Shape, res.Err = cand, err
+		}
+		return ok
+	}
+	// Establish the baseline failure (also fills res.Err).
+	if !check(res.Shape) {
+		return res
+	}
+
+	for changed := true; changed && res.Evals < budget; {
+		changed = false
+
+		// Pass 1: drop whole segments, greedily from the front.
+		for i := 0; len(res.Shape.Segs) > 1 && i < len(res.Shape.Segs) && res.Evals < budget; {
+			segs := copySegs(res.Shape)
+			segs = append(segs[:i], segs[i+1:]...)
+			if check(NormaliseShape(Shape{Segs: segs})) {
+				changed = true
+				// Same index now names the next segment.
+				continue
+			}
+			i++
+		}
+
+		// Pass 2: shrink scalar fields toward their minima, halving so
+		// the pass converges in O(log) evaluations per field.
+		for i := 0; i < len(res.Shape.Segs) && res.Evals < budget; i++ {
+			shrink := func(get func(*Seg) *int64, min int64) {
+				for res.Evals < budget {
+					segs := copySegs(res.Shape)
+					p := get(&segs[i])
+					next := *p / 2
+					if next < min {
+						next = min
+					}
+					if next == *p {
+						return
+					}
+					*p = next
+					if !check(NormaliseShape(Shape{Segs: segs})) {
+						return
+					}
+					changed = true
+				}
+			}
+			k := res.Shape.Segs[i].Kind
+			switch k {
+			case KindIrregular:
+				shrink(func(s *Seg) *int64 { return &s.N }, MinIrregularTrip)
+			case KindSyscall:
+				shrink(func(s *Seg) *int64 { return &s.N }, MinSyscallTrip)
+			case KindNested:
+				if res.Shape.Segs[i].OuterHot {
+					shrink(func(s *Seg) *int64 { return &s.N }, minHotTrip)
+					shrink(func(s *Seg) *int64 { return &s.Inner }, MinNarrowTrip)
+				} else {
+					shrink(func(s *Seg) *int64 { return &s.Inner }, minHotTrip)
+					shrink(func(s *Seg) *int64 { return &s.N }, MinNarrowTrip)
+				}
+			default:
+				shrink(func(s *Seg) *int64 { return &s.N }, minHotTrip)
+			}
+			shrink(func(s *Seg) *int64 { return &s.Dist }, 1)
+			if res.Shape.Segs[i].Arrays > MinArrays && res.Evals < budget {
+				segs := copySegs(res.Shape)
+				segs[i].Arrays = MinArrays
+				if check(NormaliseShape(Shape{Segs: segs})) {
+					changed = true
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,130 @@
+package genkern
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCampaignFindsAndMinimisesPlantedBug is the campaign's self-test,
+// built on the PR 5 Options.PlantDOALL hook: every oracle run carries a
+// planted analyser mis-classification (a statically-proven carried loop
+// promoted to static-DOALL), and the campaign must discover a shape on
+// which the plant arms and is caught, then minimise the repro down to a
+// single carried segment — all within a bounded oracle-evaluation
+// budget. If this ever fails, the campaign loop (or the minimiser, or
+// the oracle) has lost its teeth.
+func TestCampaignFindsAndMinimisesPlantedBug(t *testing.T) {
+	dir := t.TempDir()
+	const budget = 150
+	stats, err := RunCampaign(CampaignConfig{
+		Dir:              dir,
+		Seed:             99,
+		MaxIters:         300,
+		Plant:            true,
+		StopOnDivergence: true,
+		MinimiseBudget:   budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Divergences) == 0 {
+		t.Fatalf("campaign never found the planted soundness bug in %d iterations", stats.Iters)
+	}
+	d := stats.Divergences[0]
+	if d.Err == nil || !strings.Contains(d.Err.Error(), "PLANTED BUG CAUGHT") {
+		t.Fatalf("divergence is not the planted bug: %v", d.Err)
+	}
+
+	// The minimiser must have shrunk the repro to a single carried
+	// segment: the smallest shape on which the plant can arm.
+	if len(d.Shape.Segs) != 1 {
+		t.Fatalf("minimised shape still has %d segments, want 1: %+v", len(d.Shape.Segs), d.Shape)
+	}
+	if d.Shape.Segs[0].Kind != KindCarried {
+		t.Fatalf("minimised segment is %v, want %v", d.Shape.Segs[0].Kind, KindCarried)
+	}
+	if err := d.Shape.Validate(); err != nil {
+		t.Fatalf("minimised shape invalid: %v", err)
+	}
+
+	// Replaying the minimised shape with the plant armed reproduces the
+	// failure; with the plant off (the shipped pipeline) it is clean —
+	// exactly the contract the graduated fixture encodes.
+	if _, err := DiffShape(d.Shape, d.Seed, Options{PlantDOALL: true}); err == nil {
+		t.Fatal("minimised shape does not reproduce the planted failure")
+	} else if !strings.Contains(err.Error(), "PLANTED BUG CAUGHT") {
+		t.Fatalf("minimised shape fails for the wrong reason: %v", err)
+	}
+	if _, err := DiffShape(d.Shape, d.Seed, Options{}); err != nil {
+		t.Fatalf("minimised shape fails even without the plant: %v", err)
+	}
+
+	// The graduated fixture exists, parses, and replays the same shape.
+	data, err := os.ReadFile(d.Fixture)
+	if err != nil {
+		t.Fatalf("graduated fixture: %v", err)
+	}
+	if !strings.Contains(string(data), "-genkern.shape="+ShapeHex(d.Shape)) {
+		t.Errorf("fixture does not carry the -genkern.shape repro:\n%s", data)
+	}
+	sh, seed, err := ParseRegression(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shapeEqual(sh, d.Shape) || seed != d.Seed {
+		t.Fatalf("fixture replays (%+v, %d), campaign found (%+v, %d)", sh, seed, d.Shape, d.Seed)
+	}
+	if filepath.Dir(d.Fixture) != filepath.Join(dir, "regressions") {
+		t.Errorf("fixture graduated outside the campaign's regressions dir: %s", d.Fixture)
+	}
+}
+
+// TestMinimiseRespectsBudget pins the bounded-evaluation contract: a
+// one-evaluation budget still returns a (possibly unshrunk) failing
+// shape and never exceeds its allowance.
+func TestMinimiseRespectsBudget(t *testing.T) {
+	shape := Shape{Segs: []Seg{
+		{Kind: KindDoallConst, N: 224, Dist: 3, Arrays: 2},
+		{Kind: KindCarried, N: 224, Dist: 8, Arrays: 2},
+		{Kind: KindSyscall, N: 8, Dist: 1, Arrays: 2},
+	}}
+	res := Minimise(shape, 1, Options{PlantDOALL: true}, 1)
+	if res.Evals > 1 {
+		t.Fatalf("minimiser spent %d evaluations on a budget of 1", res.Evals)
+	}
+	if res.Err == nil {
+		t.Fatal("baseline failure not confirmed within the budget")
+	}
+	if !shapeEqual(res.Shape, NormaliseShape(shape)) {
+		t.Fatalf("budget-1 minimisation changed the shape: %+v", res.Shape)
+	}
+	if !strings.Contains(res.Repro(), "-genkern.shape="+ShapeHex(res.Shape)) {
+		t.Fatalf("repro %q does not name the shape", res.Repro())
+	}
+}
+
+// TestMinimiseShrinksTrips pins the scalar-shrink pass: a planted
+// failure on a large carried loop minimises to the trip floor and
+// distance 1.
+func TestMinimiseShrinksTrips(t *testing.T) {
+	shape := Shape{Segs: []Seg{{Kind: KindCarried, N: 320, Dist: 16, Arrays: 4}}}
+	res := Minimise(shape, 7, Options{PlantDOALL: true}, 120)
+	if res.Err == nil {
+		t.Fatal("planted failure on a single carried segment was not reproduced")
+	}
+	s := res.Shape.Segs[0]
+	if s.N != minHotTrip {
+		t.Errorf("trip count minimised to %d, want the selector floor %d", s.N, minHotTrip)
+	}
+	if s.Dist != 1 {
+		t.Errorf("distance minimised to %d, want 1", s.Dist)
+	}
+	if s.Arrays != MinArrays {
+		t.Errorf("arrays minimised to %d, want %d", s.Arrays, MinArrays)
+	}
+	if res.Evals > 120 {
+		t.Errorf("minimiser spent %d evals, budget 120", res.Evals)
+	}
+}

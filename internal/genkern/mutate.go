@@ -1,0 +1,197 @@
+package genkern
+
+// Seeded, deterministic mutation engine over shape-vector genomes.
+//
+// Every operator maps a Validate-clean shape to a Validate-clean shape
+// (perturbed fields are re-canonicalised through the genome clamp), and
+// a Mutator's whole output stream is a pure function of its seed, so a
+// campaign replays identically from (corpus, seed).
+
+// MutOp names one mutation operator.
+type MutOp uint8
+
+const (
+	// OpKindSwap rewrites one segment's kind, re-clamping its fields
+	// into the new kind's legal ranges.
+	OpKindSwap MutOp = iota
+	// OpDistShift nudges one segment's dependence distance.
+	OpDistShift
+	// OpTripPerturb nudges one segment's trip count (the hot dimension
+	// for nests).
+	OpTripPerturb
+	// OpSegSplice inserts a freshly drawn segment at a random position.
+	OpSegSplice
+	// OpSegDup duplicates a random segment in place.
+	OpSegDup
+	// OpSegDrop removes a random segment.
+	OpSegDrop
+	// OpFlagFlip toggles a segment's Collide or OuterHot bit (the
+	// alias/nest-orientation layout switches).
+	OpFlagFlip
+
+	numMutOps
+)
+
+func (op MutOp) String() string {
+	switch op {
+	case OpKindSwap:
+		return "kind-swap"
+	case OpDistShift:
+		return "dist-shift"
+	case OpTripPerturb:
+		return "trip-perturb"
+	case OpSegSplice:
+		return "seg-splice"
+	case OpSegDup:
+		return "seg-dup"
+	case OpSegDrop:
+		return "seg-drop"
+	case OpFlagFlip:
+		return "flag-flip"
+	}
+	return "mutop(?)"
+}
+
+// Mutator is a deterministic source of shape mutations.
+type Mutator struct{ r *rng }
+
+// NewMutator returns a mutator whose entire output stream is a pure
+// function of seed.
+func NewMutator(seed uint64) *Mutator {
+	return &Mutator{r: newRng(seed ^ 0x5ba9e5eed0c0ffee)}
+}
+
+// copySegs deep-copies the segment slice so operators never alias a
+// corpus-resident parent.
+func copySegs(sh Shape) []Seg {
+	return append([]Seg(nil), sh.Segs...)
+}
+
+// Fresh draws a brand-new shape with DeriveShape's distribution, fed
+// from the mutator's stream (used to keep a campaign's corpus from
+// inbreeding).
+func (m *Mutator) Fresh() Shape {
+	n := 1 + m.r.intn(4)
+	sh := Shape{Segs: make([]Seg, n)}
+	for i := range sh.Segs {
+		sh.Segs[i] = m.randSeg()
+	}
+	return NormaliseShape(sh)
+}
+
+// randSeg mirrors DeriveShape's per-segment draw.
+func (m *Mutator) randSeg() Seg {
+	s := Seg{Kind: SegKind(m.r.intn(numSegKinds))}
+	s.N = m.r.pick(minHotTrip, 128, 160, 224)
+	s.Dist = m.r.pick(1, 2, 3, 5, 8)
+	s.Arrays = MinArrays + m.r.intn(MaxArrays-MinArrays+1)
+	s.Collide = m.r.intn(2) == 1
+	s.OuterHot = m.r.intn(2) == 1
+	switch s.Kind {
+	case KindNested:
+		if s.OuterHot {
+			s.Inner = m.r.pick(4, 8, 12)
+		} else {
+			s.Inner = s.N
+			s.N = m.r.pick(4, 8, 12)
+		}
+	case KindIrregular:
+		s.N = int64(1) << (8 + m.r.intn(5))
+	case KindSyscall:
+		s.N = 4 + int64(m.r.intn(8))
+	}
+	return s
+}
+
+// Mutate applies 1..3 randomly drawn operators and returns the
+// normalised child.
+func (m *Mutator) Mutate(sh Shape) Shape {
+	rounds := 1 + m.r.intn(3)
+	for i := 0; i < rounds; i++ {
+		sh = m.Apply(MutOp(m.r.intn(int(numMutOps))), sh)
+	}
+	return sh
+}
+
+// Apply runs one operator. Operators that cannot apply (dropping the
+// only segment, splicing past MaxShapeSegs) return the input unchanged
+// apart from normalisation.
+func (m *Mutator) Apply(op MutOp, sh Shape) Shape {
+	segs := copySegs(sh)
+	if len(segs) == 0 {
+		return NormaliseShape(Shape{Segs: segs})
+	}
+	i := m.r.intn(len(segs))
+	switch op {
+	case OpKindSwap:
+		// Draw a different kind; the normalise pass wraps the old trip
+		// counts into the new kind's ranges.
+		delta := 1 + m.r.intn(numSegKinds-1)
+		segs[i].Kind = SegKind((int(segs[i].Kind) + delta) % numSegKinds)
+	case OpDistShift:
+		segs[i].Dist += m.r.pick(-4, -2, -1, 1, 2, 4)
+	case OpTripPerturb:
+		d := m.r.pick(-64, -32, -8, -1, 1, 8, 32, 64)
+		if segs[i].Kind == KindNested && !segs[i].OuterHot {
+			segs[i].Inner += d
+		} else {
+			segs[i].N += d
+		}
+	case OpSegSplice:
+		if len(segs) < MaxShapeSegs {
+			pos := m.r.intn(len(segs) + 1)
+			segs = append(segs, Seg{})
+			copy(segs[pos+1:], segs[pos:])
+			segs[pos] = m.randSeg()
+		}
+	case OpSegDup:
+		if len(segs) < MaxShapeSegs {
+			segs = append(segs, Seg{})
+			copy(segs[i+1:], segs[i:])
+		}
+	case OpSegDrop:
+		if len(segs) > 1 {
+			segs = append(segs[:i], segs[i+1:]...)
+		}
+	case OpFlagFlip:
+		if m.r.intn(2) == 0 {
+			segs[i].Collide = !segs[i].Collide
+		} else {
+			segs[i].OuterHot = !segs[i].OuterHot
+		}
+	}
+	return NormaliseShape(Shape{Segs: segs})
+}
+
+// Crossover builds a child whose every segment is drawn verbatim from
+// one of the two parents (position-wise where both parents have the
+// position, from the longer parent past the shorter one's end).
+func (m *Mutator) Crossover(a, b Shape) Shape {
+	la, lb := len(a.Segs), len(b.Segs)
+	lo, hi := la, lb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < 1 {
+		hi = 1
+	}
+	n := lo + m.r.intn(hi-lo+1)
+	out := make([]Seg, n)
+	for i := range out {
+		fromA := m.r.intn(2) == 0
+		switch {
+		case fromA && i < la:
+			out[i] = a.Segs[i]
+		case !fromA && i < lb:
+			out[i] = b.Segs[i]
+		case i < la:
+			out[i] = a.Segs[i]
+		default:
+			out[i] = b.Segs[i]
+		}
+	}
+	return NormaliseShape(Shape{Segs: out})
+}

@@ -1,0 +1,129 @@
+package genkern
+
+import "testing"
+
+// TestMutationOperatorsDeterministic pins that every operator (and the
+// composite Mutate/Crossover/Fresh draws) replays identically from a
+// fixed mutator seed.
+func TestMutationOperatorsDeterministic(t *testing.T) {
+	parents := validShapes()
+	run := func() []string {
+		var out []string
+		m := NewMutator(7)
+		for op := MutOp(0); op < numMutOps; op++ {
+			for _, sh := range parents {
+				out = append(out, ShapeHex(m.Apply(op, sh)))
+			}
+		}
+		for _, sh := range parents {
+			out = append(out, ShapeHex(m.Mutate(sh)))
+		}
+		for i := 1; i < len(parents); i++ {
+			out = append(out, ShapeHex(m.Crossover(parents[i-1], parents[i])))
+		}
+		for i := 0; i < 8; i++ {
+			out = append(out, ShapeHex(m.Fresh()))
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay produced %d shapes vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d not deterministic: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMutationOperatorsStayValid pins that every operator always lands
+// on a Validate-clean shape, across many draws and all operators.
+func TestMutationOperatorsStayValid(t *testing.T) {
+	m := NewMutator(11)
+	shapes := append([]Shape{}, validShapes()...)
+	for seed := uint64(1); seed <= 32; seed++ {
+		shapes = append(shapes, DeriveShape(seed))
+	}
+	for round := 0; round < 40; round++ {
+		for i, sh := range shapes {
+			for op := MutOp(0); op < numMutOps; op++ {
+				child := m.Apply(op, sh)
+				if err := child.Validate(); err != nil {
+					t.Fatalf("round %d shape %d op %v: child invalid: %v\nparent: %+v\nchild: %+v", round, i, op, err, sh, child)
+				}
+				if len(child.Segs) > MaxShapeSegs {
+					t.Fatalf("op %v grew shape past MaxShapeSegs: %d", op, len(child.Segs))
+				}
+			}
+			// Evolve the population so later rounds mutate mutants.
+			shapes[i] = m.Mutate(sh)
+			if err := shapes[i].Validate(); err != nil {
+				t.Fatalf("round %d shape %d: Mutate output invalid: %v", round, i, err)
+			}
+		}
+	}
+}
+
+// TestMutationOperatorsDoNotAliasParent pins that mutating a shape
+// never writes through the parent's segment slice (corpus entries must
+// stay immutable).
+func TestMutationOperatorsDoNotAliasParent(t *testing.T) {
+	m := NewMutator(3)
+	parent := Shape{Segs: []Seg{
+		{Kind: KindCarried, N: 96, Dist: 8, Arrays: 2},
+		{Kind: KindDoallConst, N: 128, Dist: 1, Arrays: 2},
+	}}
+	want := ShapeHex(parent)
+	for i := 0; i < 200; i++ {
+		m.Mutate(parent)
+		for op := MutOp(0); op < numMutOps; op++ {
+			m.Apply(op, parent)
+		}
+	}
+	if got := ShapeHex(parent); got != want {
+		t.Fatalf("mutation mutated its parent: %s -> %s", want, got)
+	}
+}
+
+// TestCrossoverDrawsFromParents pins that every segment of a crossover
+// child equals some segment of one of its two parents.
+func TestCrossoverDrawsFromParents(t *testing.T) {
+	m := NewMutator(19)
+	fromParents := func(child Shape, a, b Shape) bool {
+		for _, cs := range child.Segs {
+			found := false
+			for _, ps := range append(append([]Seg{}, a.Segs...), b.Segs...) {
+				if cs == ps {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	shapes := validShapes()
+	for i := 0; i < len(shapes); i++ {
+		for j := 0; j < len(shapes); j++ {
+			for round := 0; round < 10; round++ {
+				child := m.Crossover(shapes[i], shapes[j])
+				if err := child.Validate(); err != nil {
+					t.Fatalf("crossover(%d,%d): invalid child: %v", i, j, err)
+				}
+				lo, hi := len(shapes[i].Segs), len(shapes[j].Segs)
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if n := len(child.Segs); n < lo || n > hi {
+					t.Fatalf("crossover(%d,%d): child length %d outside parent range [%d,%d]", i, j, n, lo, hi)
+				}
+				if !fromParents(child, shapes[i], shapes[j]) {
+					t.Fatalf("crossover(%d,%d): child carries a segment from neither parent:\nchild: %+v", i, j, child)
+				}
+			}
+		}
+	}
+}
