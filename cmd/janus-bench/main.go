@@ -82,6 +82,7 @@ func main() {
 	campaign := flag.String("campaign", "", "run a resumable shape-vector fuzz campaign persisting its corpus in this directory (skips figure/table rendering; exits nonzero on divergence)")
 	campaignSecs := flag.Int("campaign-secs", 30, "campaign time budget in seconds (with -campaign)")
 	campaignSeed := flag.Uint64("campaign-seed", 1, "campaign decision-stream seed (with -campaign); a corpus dir refuses to resume under a different seed")
+	campaignPlant := flag.Bool("campaign-plant", false, "plant a deliberate mis-classification in every campaign oracle run (fuzzer self-test: the campaign must catch it, graduate a regression, and exit nonzero at the first divergence)")
 	cacheDir := flag.String("cache-dir", "", "durable artifact cache directory (empty = off); figure/table outputs are byte-identical with the cache off, cold or warm, and the directory is safe to share between processes")
 	flag.Parse()
 
@@ -99,16 +100,39 @@ func main() {
 	if *cacheDir != "" {
 		var err error
 		cache, err = artcache.OpenShared(*cacheDir)
-		exitOn(err)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "janus-bench:", err)
+			os.Exit(1)
+		}
+	}
+	// The stderr counter lines are part of the tool's contract even when
+	// a run dies partway: a failed run with a cache attached still
+	// reports its hit/miss counters, and a campaign that errors mid-run
+	// still prints the stats it accumulated. flushCache runs on every
+	// exit path below; fail is exitOn with the counters flushed first.
+	flushCache := func() {
+		if cache != nil {
+			fmt.Fprintln(os.Stderr, "janus-bench: artcache:", cache.Stats())
+		}
+	}
+	fail := func(err error) {
+		flushCache()
+		fmt.Fprintln(os.Stderr, "janus-bench:", err)
+		os.Exit(1)
 	}
 	if *inject != "" {
 		plan, err := faultinject.ParsePlan(*inject)
-		exitOn(err)
+		if err != nil {
+			fail(err)
+		}
 		opts.Inject = plan
 	}
 
 	if *engineJSON != "" {
-		exitOn(writeEngineSnapshot(*engineJSON, opts))
+		if err := writeEngineSnapshot(*engineJSON, opts); err != nil {
+			fail(err)
+		}
+		flushCache()
 		return
 	}
 
@@ -120,16 +144,28 @@ func main() {
 			Seed:     *campaignSeed,
 			Duration: time.Duration(*campaignSecs) * time.Second,
 			Threads:  opts.Threads,
-			Log:      os.Stderr,
+			Plant:    *campaignPlant,
+			// A planted campaign exists to prove the loop catches bugs;
+			// the first graduated divergence is the proof, so stop there.
+			StopOnDivergence: *campaignPlant,
+			Log:              os.Stderr,
 		})
-		exitOn(err)
-		fmt.Println(stats)
+		if stats != nil {
+			// RunCampaign returns the stats it accumulated alongside a
+			// mid-run error; the line is emitted either way.
+			fmt.Println(stats)
+		}
+		if err != nil {
+			fail(err)
+		}
 		if len(stats.Divergences) > 0 {
 			for _, d := range stats.Divergences {
 				fmt.Fprintln(os.Stderr, "janus-bench:", d.Err)
 			}
+			flushCache()
 			os.Exit(1)
 		}
+		flushCache()
 		return
 	}
 
@@ -138,7 +174,9 @@ func main() {
 		// include the gen/* rows; a lattice violation (soundness bug)
 		// aborts with the failing seed's repro command.
 		entries, err := genkern.Graduate(*genCorpus, opts.Threads)
-		exitOn(err)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Print(genkern.RenderCorpus(entries, *genCorpus))
 		fmt.Println()
 	}
@@ -150,13 +188,7 @@ func main() {
 	if opts.Inject != nil || opts.Recovery.ParRecoveries.Load() > 0 {
 		fmt.Fprintln(os.Stderr, "janus-bench:", opts.Recovery.Summary())
 	}
-	if cache != nil {
-		fmt.Fprintln(os.Stderr, "janus-bench: artcache:", cache.Stats())
-	}
-	exitOn(err)
-}
-
-func exitOn(err error) {
+	flushCache()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "janus-bench:", err)
 		os.Exit(1)

@@ -6,6 +6,16 @@
 //	janus schedule -bench 470.lbm -o x.jrs   emit the rewrite schedule
 //	janus run      -bench 470.lbm -threads 8 parallelise and execute
 //	janus disasm   -bench 470.lbm            disassemble the binary
+//
+// With a janusd daemon running, the bench subcommand renders the
+// evaluation suite remotely as a thin client:
+//
+//	janus bench -server http://127.0.0.1:7117           full suite
+//	janus bench -server ... -fig 7 -deadline 30s        one figure, bounded
+//
+// Shed (429) and draining (503) answers are retried with seeded
+// jittered exponential backoff; the rendered bytes land on stdout
+// exactly as a local janus-bench run would print them.
 package main
 
 import (
@@ -26,6 +36,10 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "bench" {
+		benchClient(os.Args[2:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	bench := fs.String("bench", "470.lbm", "workload name (see 'janus list')")
 	threads := fs.Int("threads", 8, "parallel thread count")
@@ -179,7 +193,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: janus <analyze|profile|schedule|run|disasm|list> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: janus <analyze|profile|schedule|run|disasm|list|bench> [flags]`)
 }
 
 func fatal(err error) {

@@ -11,9 +11,11 @@
 //
 //	point[@every][#seed]
 //
-// where point is one of scan-defeat, worker-panic, stall, budget;
-// @every arms one region in every `every` (default 1: every region);
-// #seed offsets which region in each stride fires (default 0).
+// where point is one of the region points scan-defeat, worker-panic,
+// stall, budget, or the janusd service points handler-panic,
+// queue-stall, slow-worker; @every arms one region (or service
+// request) in every `every` (default 1: every one); #seed offsets
+// which one in each stride fires (default 0).
 package faultinject
 
 import (
@@ -40,6 +42,24 @@ const (
 	// BudgetExhaust forces the region's shared step budget to zero, so
 	// every worker trips the budget backstop.
 	BudgetExhaust
+
+	// The remaining points are service-level: they fire inside janusd's
+	// request lifecycle rather than inside the speculative engines, so
+	// the daemon's robustness machinery (panic containment, deadlines,
+	// load shedding, drain) is testable deterministically. Region
+	// engines never fire them and janusd never fires the region points,
+	// so one Plan grammar serves both layers without ambiguity.
+
+	// HandlerPanic forces a panic inside an armed job's handler,
+	// exercising the daemon's per-job panic containment.
+	HandlerPanic
+	// QueueStall delays an armed job while it is still queued, as a
+	// wedged dispatch path would, exercising queue-deadline and
+	// load-shedding behaviour.
+	QueueStall
+	// SlowWorker delays an armed job mid-execution, exercising
+	// per-request deadlines and drain timeouts.
+	SlowWorker
 )
 
 var pointNames = map[Point]string{
@@ -47,6 +67,9 @@ var pointNames = map[Point]string{
 	WorkerPanic:   "worker-panic",
 	Stall:         "stall",
 	BudgetExhaust: "budget",
+	HandlerPanic:  "handler-panic",
+	QueueStall:    "queue-stall",
+	SlowWorker:    "slow-worker",
 }
 
 func (p Point) String() string {
@@ -93,7 +116,7 @@ func ParsePlan(spec string) (*Plan, error) {
 			return p, nil
 		}
 	}
-	return nil, fmt.Errorf("faultinject: unknown injection point %q (want scan-defeat, worker-panic, stall, or budget)", rest)
+	return nil, fmt.Errorf("faultinject: unknown injection point %q (want scan-defeat, worker-panic, stall, budget, handler-panic, queue-stall, or slow-worker)", rest)
 }
 
 // String renders the plan back in spec grammar.

@@ -16,6 +16,9 @@ func TestParsePlan(t *testing.T) {
 		{spec: "stall@3", want: Plan{Point: Stall, Every: 3}},
 		{spec: "budget@2#7", want: Plan{Point: BudgetExhaust, Every: 2, Seed: 7}},
 		{spec: "budget#9", want: Plan{Point: BudgetExhaust, Every: 1, Seed: 9}},
+		{spec: "handler-panic", want: Plan{Point: HandlerPanic, Every: 1}},
+		{spec: "queue-stall@2", want: Plan{Point: QueueStall, Every: 2}},
+		{spec: "slow-worker@3#1", want: Plan{Point: SlowWorker, Every: 3, Seed: 1}},
 		{spec: "nonsense", err: true},
 		{spec: "stall@0", err: true},
 		{spec: "stall@x", err: true},
@@ -41,7 +44,7 @@ func TestParsePlan(t *testing.T) {
 }
 
 func TestPlanStringRoundTrip(t *testing.T) {
-	for _, spec := range []string{"scan-defeat", "worker-panic@4", "stall@2#5", "budget#3"} {
+	for _, spec := range []string{"scan-defeat", "worker-panic@4", "stall@2#5", "budget#3", "handler-panic@2", "queue-stall#4", "slow-worker"} {
 		p, err := ParsePlan(spec)
 		if err != nil {
 			t.Fatalf("ParsePlan(%q): %v", spec, err)

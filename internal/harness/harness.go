@@ -13,6 +13,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -64,6 +65,13 @@ type Options struct {
 	// Recovery, when non-nil, accumulates recovery counters across
 	// every Janus run the suite performs.
 	Recovery *RecoveryLog
+	// OnProgress, when non-nil, receives progress events while a render
+	// runs: one "start"/"done"/"failed" event per experiment and one
+	// "row" tick per completed benchmark row. Events are delivered from
+	// concurrent worker goroutines, so the callback must be safe for
+	// concurrent use; janusd streams them to service clients. Progress
+	// observation never changes rendered bytes.
+	OnProgress func(ProgressEvent)
 	// CacheDir, when non-empty, enables the durable artifact cache
 	// (janus-bench -cache-dir): workload builds, native baselines,
 	// training profiles and DBM results are stored on disk there and
@@ -194,11 +202,18 @@ type Fig6Row struct {
 // Figure6 classifies every loop of every benchmark and profiles
 // execution-time fractions with training inputs.
 func Figure6(o Options) ([]Fig6Row, error) {
+	return Figure6Context(context.Background(), o)
+}
+
+// Figure6Context is Figure6 under a context: cancellation or an
+// expired deadline abandons pending rows with ErrCanceled instead of
+// running the experiment to completion.
+func Figure6Context(ctx context.Context, o Options) ([]Fig6Row, error) {
 	o = o.normalized()
 	if o.cacheErr != nil {
 		return nil, o.cacheErr
 	}
-	return figure6(o, newScheduler(o.Jobs))
+	return figure6(o, newScheduler(ctx, o.Jobs, o.OnProgress))
 }
 
 func figure6(o Options, s *scheduler) ([]Fig6Row, error) {
@@ -294,11 +309,16 @@ type Fig7Row struct {
 // Figure7 measures the four configurations on the nine parallelisable
 // benchmarks.
 func Figure7(o Options) ([]Fig7Row, error) {
+	return Figure7Context(context.Background(), o)
+}
+
+// Figure7Context is Figure7 under a context (see Figure6Context).
+func Figure7Context(ctx context.Context, o Options) ([]Fig7Row, error) {
 	o = o.normalized()
 	if o.cacheErr != nil {
 		return nil, o.cacheErr
 	}
-	return figure7(o, newScheduler(o.Jobs))
+	return figure7(o, newScheduler(ctx, o.Jobs, o.OnProgress))
 }
 
 func figure7(o Options, s *scheduler) ([]Fig7Row, error) {
@@ -409,11 +429,16 @@ type Fig8Row struct {
 
 // Figure8 measures breakdowns for 1 and Options.Threads threads.
 func Figure8(o Options) ([]Fig8Row, error) {
+	return Figure8Context(context.Background(), o)
+}
+
+// Figure8Context is Figure8 under a context (see Figure6Context).
+func Figure8Context(ctx context.Context, o Options) ([]Fig8Row, error) {
 	o = o.normalized()
 	if o.cacheErr != nil {
 		return nil, o.cacheErr
 	}
-	return figure8(o, newScheduler(o.Jobs))
+	return figure8(o, newScheduler(ctx, o.Jobs, o.OnProgress))
 }
 
 func figure8(o Options, s *scheduler) ([]Fig8Row, error) {
@@ -500,11 +525,16 @@ type Fig9Row struct {
 
 // Figure9 sweeps thread counts 1..Options.Threads.
 func Figure9(o Options) ([]Fig9Row, error) {
+	return Figure9Context(context.Background(), o)
+}
+
+// Figure9Context is Figure9 under a context (see Figure6Context).
+func Figure9Context(ctx context.Context, o Options) ([]Fig9Row, error) {
 	o = o.normalized()
 	if o.cacheErr != nil {
 		return nil, o.cacheErr
 	}
-	return figure9(o, newScheduler(o.Jobs))
+	return figure9(o, newScheduler(ctx, o.Jobs, o.OnProgress))
 }
 
 func figure9(o Options, s *scheduler) ([]Fig9Row, error) {
@@ -574,11 +604,16 @@ type Fig10Row struct {
 // Figure10 generates the full-Janus schedule for each benchmark and
 // compares its serialised size with the binary image size.
 func Figure10(o Options) ([]Fig10Row, error) {
+	return Figure10Context(context.Background(), o)
+}
+
+// Figure10Context is Figure10 under a context (see Figure6Context).
+func Figure10Context(ctx context.Context, o Options) ([]Fig10Row, error) {
 	o = o.normalized()
 	if o.cacheErr != nil {
 		return nil, o.cacheErr
 	}
-	return figure10(o, newScheduler(o.Jobs))
+	return figure10(o, newScheduler(ctx, o.Jobs, o.OnProgress))
 }
 
 func figure10(o Options, s *scheduler) ([]Fig10Row, error) {
@@ -649,11 +684,16 @@ type Fig11Row struct {
 
 // Figure11 runs both compilers and Janus on both binary flavours.
 func Figure11(o Options) ([]Fig11Row, error) {
+	return Figure11Context(context.Background(), o)
+}
+
+// Figure11Context is Figure11 under a context (see Figure6Context).
+func Figure11Context(ctx context.Context, o Options) ([]Fig11Row, error) {
 	o = o.normalized()
 	if o.cacheErr != nil {
 		return nil, o.cacheErr
 	}
-	return figure11(o, newScheduler(o.Jobs))
+	return figure11(o, newScheduler(ctx, o.Jobs, o.OnProgress))
 }
 
 func figure11(o Options, s *scheduler) ([]Fig11Row, error) {
@@ -741,11 +781,16 @@ type Fig12Row struct {
 
 // Figure12 runs Janus on all three optimisation-level builds.
 func Figure12(o Options) ([]Fig12Row, error) {
+	return Figure12Context(context.Background(), o)
+}
+
+// Figure12Context is Figure12 under a context (see Figure6Context).
+func Figure12Context(ctx context.Context, o Options) ([]Fig12Row, error) {
 	o = o.normalized()
 	if o.cacheErr != nil {
 		return nil, o.cacheErr
 	}
-	return figure12(o, newScheduler(o.Jobs))
+	return figure12(o, newScheduler(ctx, o.Jobs, o.OnProgress))
 }
 
 func figure12(o Options, s *scheduler) ([]Fig12Row, error) {
@@ -817,11 +862,16 @@ type Tab1Row struct {
 
 // TableI inspects the generated schedules.
 func TableI(o Options) ([]Tab1Row, error) {
+	return TableIContext(context.Background(), o)
+}
+
+// TableIContext is TableI under a context (see Figure6Context).
+func TableIContext(ctx context.Context, o Options) ([]Tab1Row, error) {
 	o = o.normalized()
 	if o.cacheErr != nil {
 		return nil, o.cacheErr
 	}
-	return tableI(o, newScheduler(o.Jobs))
+	return tableI(o, newScheduler(ctx, o.Jobs, o.OnProgress))
 }
 
 func tableI(o Options, s *scheduler) ([]Tab1Row, error) {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -23,18 +25,65 @@ import (
 // panicking) row abandons that experiment's remaining rows, but
 // sibling experiments sharing the pool keep running, so RenderAll can
 // report every healthy figure alongside the failed one.
+//
+// The scheduler also carries the run's context: when it is cancelled
+// or its deadline passes, rows that have not started are abandoned
+// with ErrCanceled instead of running the experiment to completion.
+// Rows already executing run to their natural end — the simulated
+// engines are not interruptible mid-row, and a finished row is the
+// cheapest consistent state to stop in.
+
+// ErrCanceled reports a run abandoned because its context was
+// cancelled or its deadline passed before every row ran. It wraps the
+// context's own error, so errors.Is matches both ErrCanceled and
+// context.Canceled / context.DeadlineExceeded.
+var ErrCanceled = errors.New("harness: run canceled")
+
+// canceledErr ties ErrCanceled to the context's cause.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+}
+
+// ProgressEvent is one tick of a running suite render, delivered to
+// Options.OnProgress. Experiment-level events carry the artefact name
+// and a State of "start", "done" or "failed"; row-level ticks have
+// State "row" with an empty Experiment. Rows is the cumulative count
+// of benchmark rows completed across the whole run at emission time.
+type ProgressEvent struct {
+	Experiment string
+	State      string
+	Rows       int
+	Err        string
+}
 
 // scheduler bounds row-level concurrency across the whole suite.
 type scheduler struct {
-	slots chan struct{}
+	ctx        context.Context
+	slots      chan struct{}
+	rows       atomic.Int64
+	onProgress func(ProgressEvent)
 }
 
-// newScheduler returns a scheduler running at most jobs rows at once.
-func newScheduler(jobs int) *scheduler {
+// newScheduler returns a scheduler running at most jobs rows at once
+// under ctx. onProgress may be nil; when set it is called from
+// concurrent worker goroutines and must be safe for concurrent use.
+func newScheduler(ctx context.Context, jobs int, onProgress func(ProgressEvent)) *scheduler {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if jobs < 1 {
 		jobs = 1
 	}
-	return &scheduler{slots: make(chan struct{}, jobs)}
+	return &scheduler{ctx: ctx, slots: make(chan struct{}, jobs), onProgress: onProgress}
+}
+
+// emit delivers a progress event, filling in the cumulative row count.
+func (s *scheduler) emit(ev ProgressEvent) {
+	if s.onProgress == nil {
+		return
+	}
+	ev.Rows = int(s.rows.Load())
+	s.onProgress(ev)
 }
 
 // forEach runs f(0..n-1) on the bounded pool and returns the
@@ -42,7 +91,8 @@ func newScheduler(jobs int) *scheduler {
 // their rows out through this, so nested units never hold a slot while
 // waiting on children. A panicking row is recovered into an error
 // carrying its stack, so one broken experiment can never take down a
-// long-lived process embedding the harness.
+// long-lived process embedding the harness. A cancelled context
+// abandons every not-yet-started row with ErrCanceled.
 func (s *scheduler) forEach(n int, f func(i int) error) error {
 	errs := make([]error, n)
 	// failed is scoped to this call: it abandons this experiment's
@@ -58,6 +108,12 @@ func (s *scheduler) forEach(n int, f func(i int) error) error {
 			defer wg.Done()
 			s.slots <- struct{}{}
 			defer func() { <-s.slots }()
+			if s.ctx.Err() != nil {
+				// Cancellation outranks sibling failures: the caller sees
+				// the typed cancel error for every abandoned row.
+				errs[i] = canceledErr(s.ctx)
+				return
+			}
 			if failed.Load() {
 				return
 			}
@@ -70,7 +126,10 @@ func (s *scheduler) forEach(n int, f func(i int) error) error {
 			if err := f(i); err != nil {
 				failed.Store(true)
 				errs[i] = err
+				return
 			}
+			s.rows.Add(1)
+			s.emit(ProgressEvent{State: "row"})
 		}(i)
 	}
 	wg.Wait()

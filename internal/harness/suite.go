@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -97,6 +98,15 @@ func experiments() []Experiment {
 // output. When every experiment succeeds the output is byte-identical
 // to what the all-or-nothing path produced.
 func RenderAll(o Options, fig, table int) (string, error) {
+	return RenderAllContext(context.Background(), o, fig, table)
+}
+
+// RenderAllContext is RenderAll under a context: when ctx is cancelled
+// or its deadline passes, benchmark rows that have not started are
+// abandoned with ErrCanceled (rows already executing finish), so a
+// service can bound how long a render request may run. Progress events
+// flow to Options.OnProgress when set.
+func RenderAllContext(ctx context.Context, o Options, fig, table int) (string, error) {
 	o = o.normalized()
 	runAll := fig == 0 && table == 0
 	var selected []Experiment
@@ -106,7 +116,7 @@ func RenderAll(o Options, fig, table int) (string, error) {
 		}
 	}
 
-	s := newScheduler(o.Jobs)
+	s := newScheduler(ctx, o.Jobs, o.OnProgress)
 	outs := make([]string, len(selected))
 	errs := make([]error, len(selected))
 	var wg sync.WaitGroup
@@ -119,9 +129,16 @@ func RenderAll(o Options, fig, table int) (string, error) {
 			defer func() {
 				if p := recover(); p != nil {
 					errs[i] = fmt.Errorf("experiment panicked: %v\n%s", p, debug.Stack())
+					s.emit(ProgressEvent{Experiment: e.Name, State: "failed", Err: fmt.Sprint(p)})
 				}
 			}()
+			s.emit(ProgressEvent{Experiment: e.Name, State: "start"})
 			outs[i], errs[i] = e.render(o, s)
+			if errs[i] != nil {
+				s.emit(ProgressEvent{Experiment: e.Name, State: "failed", Err: errs[i].Error()})
+			} else {
+				s.emit(ProgressEvent{Experiment: e.Name, State: "done"})
+			}
 		}(i, e)
 	}
 	wg.Wait()

@@ -1,0 +1,84 @@
+package janusd
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Hot restart works by fd inheritance: the draining parent dups its
+// listener fd into a fresh exec of itself, so the kernel-side accept
+// queue never closes and no connection is dropped in the handoff. The
+// child finds the fd through JANUSD_GRACEFUL_FD, rebuilds the listener
+// with net.FileListener, and starts accepting while the parent drains
+// its in-flight jobs and exits 0.
+
+// gracefulFDEnv names the inherited listener fd in the child's env.
+const gracefulFDEnv = "JANUSD_GRACEFUL_FD"
+
+// Listen returns a TCP listener for addr, preferring one inherited
+// from a hot-restarting parent. The second result reports whether the
+// listener was inherited.
+func Listen(addr string) (net.Listener, bool, error) {
+	if v := os.Getenv(gracefulFDEnv); v != "" {
+		fd, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, false, fmt.Errorf("janusd: bad %s=%q: %w", gracefulFDEnv, v, err)
+		}
+		f := os.NewFile(uintptr(fd), "janusd-inherited-listener")
+		if f == nil {
+			return nil, false, fmt.Errorf("janusd: %s=%d is not an open fd", gracefulFDEnv, fd)
+		}
+		ln, err := net.FileListener(f)
+		f.Close() // FileListener dups; drop the inherited copy
+		if err != nil {
+			return nil, false, fmt.Errorf("janusd: inherit listener fd %d: %w", fd, err)
+		}
+		return ln, true, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	return ln, false, err
+}
+
+// HotRestart launches a replacement process (same binary, same args)
+// that inherits ln's fd, and returns the child's pid. The caller
+// should Drain and exit once the child is running; the child serves
+// new connections from the moment it starts, so none are dropped.
+func HotRestart(ln net.Listener) (int, error) {
+	return hotRestart(ln, os.Args[1:], nil)
+}
+
+// hotRestart is the testable core: args and extraEnv let a test binary
+// re-exec itself into a helper process instead of a real daemon.
+func hotRestart(ln net.Listener, args []string, extraEnv []string) (int, error) {
+	tl, ok := ln.(*net.TCPListener)
+	if !ok {
+		return 0, fmt.Errorf("janusd: hot restart needs a TCP listener, have %T", ln)
+	}
+	f, err := tl.File()
+	if err != nil {
+		return 0, fmt.Errorf("janusd: dup listener fd: %w", err)
+	}
+	defer f.Close() // child holds its own copy after Start
+
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.ExtraFiles = []*os.File{f} // becomes fd 3 in the child
+	env := make([]string, 0, len(os.Environ())+2)
+	for _, kv := range os.Environ() {
+		if !strings.HasPrefix(kv, gracefulFDEnv+"=") {
+			env = append(env, kv)
+		}
+	}
+	env = append(env, gracefulFDEnv+"=3")
+	env = append(env, extraEnv...)
+	cmd.Env = env
+	if err := cmd.Start(); err != nil {
+		return 0, fmt.Errorf("janusd: spawn replacement: %w", err)
+	}
+	return cmd.Process.Pid, nil
+}

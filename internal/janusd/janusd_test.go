@@ -1,0 +1,665 @@
+package janusd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/rpc"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"janus/internal/faultinject"
+	"janus/internal/harness"
+)
+
+// startServer runs an in-process daemon on a loopback listener and
+// returns it with its base URL and the Serve error channel.
+func startServer(t *testing.T, cfg Config) (*Server, string, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ln) }()
+	t.Cleanup(func() { s.Close() })
+	return s, "http://" + ln.Addr().String(), errc
+}
+
+// tab2Output is the expected body for a {table:2} render — Table II is
+// static data, so it renders instantly and byte-identically everywhere.
+var (
+	tab2Once sync.Once
+	tab2Out  string
+)
+
+func tab2Expected(t *testing.T) string {
+	t.Helper()
+	tab2Once.Do(func() {
+		out, err := harness.RenderAll(harness.DefaultOptions(), 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab2Out = out
+	})
+	return tab2Out
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	res, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, payload
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, payload
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRenderSync pins the synchronous endpoint: the body is the exact
+// bytes a local render produces, with job metadata in headers.
+func TestRenderSync(t *testing.T) {
+	_, base, _ := startServer(t, Config{Workers: 2})
+	res, payload := postJSON(t, base+"/v1/render", `{"table":2}`)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", res.StatusCode, payload)
+	}
+	if string(payload) != tab2Expected(t) {
+		t.Fatalf("service render differs from local render:\n%q", payload)
+	}
+	if res.Header.Get("X-Janus-Job") == "" {
+		t.Fatal("missing X-Janus-Job header")
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+// TestJobLifecycle drives the async API end to end: submit, status,
+// events, result.
+func TestJobLifecycle(t *testing.T) {
+	_, base, _ := startServer(t, Config{Workers: 2})
+	res, payload := postJSON(t, base+"/v1/jobs", `{"table":2}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", res.StatusCode, payload)
+	}
+	var acc Response
+	if err := json.Unmarshal(payload, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID == "" {
+		t.Fatalf("no job ID in %s", payload)
+	}
+
+	res, payload = getBody(t, base+"/v1/jobs/"+acc.ID+"/result")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d: %s", res.StatusCode, payload)
+	}
+	var final Response
+	if err := json.Unmarshal(payload, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Output != tab2Expected(t) {
+		t.Fatalf("unexpected terminal response: state %s, %d bytes", final.State, len(final.Output))
+	}
+
+	res, payload = getBody(t, base+"/v1/jobs/"+acc.ID)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status status %d", res.StatusCode)
+	}
+
+	res, payload = getBody(t, base+"/v1/jobs/"+acc.ID+"/events")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", res.StatusCode)
+	}
+	ev := string(payload)
+	for _, want := range []string{"accepted " + acc.ID, "state running", "tab2 start", "tab2 done", "state done"} {
+		if !strings.Contains(ev, want) {
+			t.Fatalf("event stream missing %q:\n%s", want, ev)
+		}
+	}
+
+	res, payload = getBody(t, base+"/v1/jobs/nope")
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d: %s", res.StatusCode, payload)
+	}
+	var nf Response
+	if err := json.Unmarshal(payload, &nf); err != nil || nf.ErrKind != KindNotFound {
+		t.Fatalf("unknown job kind %q err %v", nf.ErrKind, err)
+	}
+}
+
+// mustPlan parses a fault plan spec or dies.
+func mustPlan(t *testing.T, spec string) *faultinject.Plan {
+	t.Helper()
+	p, err := faultinject.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLoadShedding pins the admission bound: with one worker wedged by
+// a slow-worker fault and zero queue depth, the next submission is
+// shed with 429 + Retry-After and a typed response.
+func TestLoadShedding(t *testing.T) {
+	s, base, _ := startServer(t, Config{
+		Workers:    1,
+		QueueDepth: -1, // no queue: shed as soon as the worker is busy
+		Inject:     mustPlan(t, "slow-worker@1"),
+		StallDelay: 500 * time.Millisecond,
+	})
+	res, payload := postJSON(t, base+"/v1/jobs", `{"table":2}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d: %s", res.StatusCode, payload)
+	}
+	var acc Response
+	if err := json.Unmarshal(payload, &acc); err != nil {
+		t.Fatal(err)
+	}
+
+	res, payload = postJSON(t, base+"/v1/render", `{"table":2}`)
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429: %s", res.StatusCode, payload)
+	}
+	if ra := res.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var shed Response
+	if err := json.Unmarshal(payload, &shed); err != nil || shed.ErrKind != KindShed {
+		t.Fatalf("shed kind %q err %v", shed.ErrKind, err)
+	}
+	if s.Snapshot().Shed == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+
+	// The wedged job still completes correctly.
+	res, payload = getBody(t, base+"/v1/jobs/"+acc.ID+"/result")
+	var final Response
+	if err := json.Unmarshal(payload, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Output != tab2Expected(t) {
+		t.Fatalf("wedged job did not finish cleanly: %s %s", final.State, final.Err)
+	}
+}
+
+// TestClientBackoffCompletesAll is the load-shed acceptance shape at
+// small scale: pool cap 1, no queue, N concurrent clients; everyone
+// completes through seeded jittered backoff and every output is
+// byte-identical.
+func TestClientBackoffCompletesAll(t *testing.T) {
+	s, base, _ := startServer(t, Config{
+		Workers:    1,
+		QueueDepth: -1,
+		Inject:     mustPlan(t, "slow-worker@1"),
+		StallDelay: 100 * time.Millisecond,
+	})
+	const n = 4
+	outs := make([]*Response, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &Client{Base: base, Backoff: Backoff{
+				Base:    20 * time.Millisecond,
+				Max:     200 * time.Millisecond,
+				Retries: 50,
+				Seed:    uint64(i + 1),
+			}}
+			outs[i], errs[i] = c.Render(context.Background(), Request{Table: 2})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if outs[i].Output != tab2Expected(t) {
+			t.Fatalf("client %d output differs", i)
+		}
+	}
+	if s.Snapshot().Shed == 0 {
+		t.Fatal("no submission was ever shed — the test exercised nothing")
+	}
+}
+
+// TestDeadline pins per-request deadlines: a job wedged in the queue
+// past its deadline fails with the typed deadline kind and HTTP 504.
+func TestDeadline(t *testing.T) {
+	_, base, _ := startServer(t, Config{
+		Workers:    1,
+		Inject:     mustPlan(t, "queue-stall@1"),
+		StallDelay: time.Second,
+	})
+	res, payload := postJSON(t, base+"/v1/render", `{"table":2,"deadline_ms":50}`)
+	if res.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", res.StatusCode, payload)
+	}
+	var r Response
+	if err := json.Unmarshal(payload, &r); err != nil || r.ErrKind != KindDeadline {
+		t.Fatalf("kind %q err %v: %s", r.ErrKind, err, payload)
+	}
+}
+
+// TestPanicContainment: a handler panic becomes a structured error and
+// the daemon keeps serving.
+func TestPanicContainment(t *testing.T) {
+	_, base, _ := startServer(t, Config{
+		Workers: 2,
+		Inject:  mustPlan(t, "handler-panic@1"),
+	})
+	res, payload := postJSON(t, base+"/v1/render", `{"table":2}`)
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", res.StatusCode, payload)
+	}
+	var r Response
+	if err := json.Unmarshal(payload, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.ErrKind != KindPanic || !strings.Contains(r.Err, "handler-panic") {
+		t.Fatalf("kind %q err %q", r.ErrKind, r.Err)
+	}
+	// The daemon survived: liveness and the whole API still answer.
+	res, payload = getBody(t, base+"/healthz")
+	if res.StatusCode != http.StatusOK || !strings.Contains(string(payload), "ok") {
+		t.Fatalf("healthz after panic: %d %s", res.StatusCode, payload)
+	}
+}
+
+// TestServiceFaultMatrix is the acceptance matrix over the new
+// service-level points: for every point × stride × seed, the daemon
+// never dies, and every request ends in either a byte-identical
+// success or a typed structured error.
+func TestServiceFaultMatrix(t *testing.T) {
+	want := tab2Expected(t)
+	for _, spec := range []string{
+		"handler-panic@1", "handler-panic@2#1", "handler-panic@3#7",
+		"queue-stall@1", "queue-stall@2#5",
+		"slow-worker@1", "slow-worker@2#9",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			_, base, _ := startServer(t, Config{
+				Workers:    2,
+				QueueDepth: 8,
+				Inject:     mustPlan(t, spec),
+				StallDelay: 10 * time.Millisecond,
+			})
+			const n = 6
+			var wg sync.WaitGroup
+			results := make([]*Response, n)
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					res, payload := postJSON(t, base+"/v1/render", `{"table":2}`)
+					r := &Response{}
+					if res.StatusCode == http.StatusOK {
+						r.State, r.Output = StateDone, string(payload)
+					} else if err := json.Unmarshal(payload, r); err != nil {
+						t.Errorf("request %d: undecodable %d response %q", i, res.StatusCode, payload)
+						return
+					}
+					results[i] = r
+				}(i)
+			}
+			wg.Wait()
+			panics := 0
+			for i, r := range results {
+				if r == nil {
+					continue // already reported
+				}
+				switch {
+				case r.State == StateDone:
+					if r.Output != want {
+						t.Errorf("request %d: success with wrong bytes", i)
+					}
+				case r.ErrKind == KindPanic:
+					panics++
+				default:
+					t.Errorf("request %d: unexpected failure kind %q: %s", i, r.ErrKind, r.Err)
+				}
+			}
+			if strings.HasPrefix(spec, "handler-panic") && panics == 0 {
+				t.Error("handler-panic plan fired no panic")
+			}
+			// Liveness after the storm.
+			if res, _ := getBody(t, base+"/healthz"); res.StatusCode != http.StatusOK {
+				t.Fatal("daemon unhealthy after fault matrix")
+			}
+		})
+	}
+}
+
+// TestRPCRender drives the same daemon over net/rpc on the same
+// listener: byte-identity holds across both protocol surfaces.
+func TestRPCRender(t *testing.T) {
+	_, base, _ := startServer(t, Config{Workers: 2})
+	addr := strings.TrimPrefix(base, "http://")
+	client, err := rpc.DialHTTPPath("tcp", addr, "/rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var res Response
+	if err := client.Call("Janus.Render", Request{Table: 2}, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.State != StateDone || res.Output != tab2Expected(t) {
+		t.Fatalf("rpc render: state %s err %s", res.State, res.Err)
+	}
+
+	var id string
+	if err := client.Call("Janus.Submit", Request{Table: 2}, &id); err != nil {
+		t.Fatal(err)
+	}
+	var final Response
+	if err := client.Call("Janus.Wait", id, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Output != tab2Expected(t) {
+		t.Fatal("rpc submit/wait output differs")
+	}
+
+	var st Stats
+	if err := client.Call("Janus.Stats", struct{}{}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Served < 2 || st.PID != os.Getpid() {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDrainGraceful: during drain the daemon refuses new work with the
+// typed draining kind, readyz flips to 503, in-flight jobs complete
+// and deliver, and Serve exits cleanly.
+func TestDrainGraceful(t *testing.T) {
+	s, base, errc := startServer(t, Config{
+		Workers:    1,
+		Inject:     mustPlan(t, "slow-worker@1"),
+		StallDelay: 400 * time.Millisecond,
+	})
+	res, payload := postJSON(t, base+"/v1/jobs", `{"table":2}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", res.StatusCode, payload)
+	}
+	var acc Response
+	if err := json.Unmarshal(payload, &acc); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s.Job(acc.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	waitFor(t, "job running", func() bool { return j.State() == StateRunning })
+
+	// Open the result exchange before draining: its response must be
+	// delivered through the drain.
+	resultc := make(chan *Response, 1)
+	go func() {
+		_, payload := getBody(t, base+"/v1/jobs/"+acc.ID+"/result")
+		var r Response
+		_ = json.Unmarshal(payload, &r)
+		resultc <- &r
+	}()
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- s.Drain(ctx)
+	}()
+	waitFor(t, "draining", s.Draining)
+
+	if res, _ := getBody(t, base+"/readyz"); res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d", res.StatusCode)
+	}
+	if res, payload := postJSON(t, base+"/v1/jobs", `{"table":2}`); res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d %s", res.StatusCode, payload)
+	} else {
+		var r Response
+		if err := json.Unmarshal(payload, &r); err != nil || r.ErrKind != KindDraining {
+			t.Fatalf("draining kind %q err %v", r.ErrKind, err)
+		}
+	}
+
+	final := <-resultc
+	if final.State != StateDone || final.Output != tab2Expected(t) {
+		t.Fatalf("in-flight job dropped by drain: %s %s", final.State, final.Err)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-errc; err != http.ErrServerClosed {
+		t.Fatalf("serve returned %v", err)
+	}
+}
+
+// TestDrainDeadlineCancels: when the drain budget expires, still-running
+// jobs are cancelled through their contexts and flush typed responses —
+// clients get an answer, never a dropped connection.
+func TestDrainDeadlineCancels(t *testing.T) {
+	s, base, _ := startServer(t, Config{
+		Workers:    1,
+		Inject:     mustPlan(t, "slow-worker@1"),
+		StallDelay: 30 * time.Second, // far beyond the drain budget
+	})
+	res, payload := postJSON(t, base+"/v1/jobs", `{"table":2}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", res.StatusCode, payload)
+	}
+	var acc Response
+	if err := json.Unmarshal(payload, &acc); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.Job(acc.ID)
+	waitFor(t, "job running", func() bool { return j.State() == StateRunning })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hard drain took %v — the stalled job was not cancelled", elapsed)
+	}
+	final, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.ErrKind != KindCanceled && final.ErrKind != KindDeadline {
+		t.Fatalf("cancelled job kind %q (err %q)", final.ErrKind, final.Err)
+	}
+}
+
+// TestBadRequests: malformed bodies and inject specs are refused with
+// typed 400s before touching the pool.
+func TestBadRequests(t *testing.T) {
+	s, base, _ := startServer(t, Config{Workers: 1})
+	for _, body := range []string{`{bad json`, `{"nope":1}`, `{"inject":"not-a-point"}`} {
+		res, payload := postJSON(t, base+"/v1/render", body)
+		if res.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d: %s", body, res.StatusCode, payload)
+		}
+		var r Response
+		if err := json.Unmarshal(payload, &r); err != nil || r.ErrKind != KindBadRequest {
+			t.Fatalf("body %q: kind %q err %v", body, r.ErrKind, err)
+		}
+	}
+	if s.Snapshot().Served != 0 {
+		t.Fatal("a bad request was admitted")
+	}
+}
+
+// TestClientRetryAfterFloor pins the backoff math: delays grow
+// exponentially from Base, never exceed Max (even against a server
+// Retry-After of a full second), and the jitter stream is a pure
+// function of the seed.
+func TestClientRetryAfterFloor(t *testing.T) {
+	c := &Client{Backoff: Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Seed: 42}}
+	var prev time.Duration
+	for attempt := 0; attempt < 6; attempt++ {
+		d := c.delay(attempt, "1") // server hints 1s; Max must cap it
+		if d > 80*time.Millisecond*3/2 {
+			t.Fatalf("attempt %d: delay %v exceeds jittered Max", attempt, d)
+		}
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", attempt, d)
+		}
+		prev = d
+	}
+	_ = prev
+	a := &Client{Backoff: Backoff{Base: time.Millisecond, Seed: 7}}
+	b := &Client{Backoff: Backoff{Base: time.Millisecond, Seed: 7}}
+	for i := 0; i < 8; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed produced different jitter streams")
+		}
+	}
+}
+
+// TestGoldenThroughService is the headline byte-identity contract: a
+// full-suite render served over HTTP equals the janus-bench golden
+// fixture exactly; then, with the pool capped at 1 and shedding
+// enabled, N concurrent thin clients all complete via backoff and every
+// body is again byte-identical.
+func TestGoldenThroughService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite renders are expensive; skipped in -short")
+	}
+	golden, err := os.ReadFile("../harness/testdata/janus-bench.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, base, _ := startServer(t, Config{Workers: 1, QueueDepth: -1})
+
+	c := &Client{Base: base, Backoff: Backoff{Base: 20 * time.Millisecond, Max: 300 * time.Millisecond, Retries: 100, Seed: 1}}
+	warm, err := c.Render(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Output != string(golden) {
+		t.Fatalf("service render differs from golden fixture (%d vs %d bytes)", len(warm.Output), len(golden))
+	}
+
+	const n = 3
+	outs := make([]*Response, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ci := &Client{Base: base, Backoff: Backoff{
+				Base: 20 * time.Millisecond, Max: 300 * time.Millisecond,
+				Retries: 200, Seed: uint64(100 + i),
+			}}
+			outs[i], errs[i] = ci.Render(context.Background(), Request{})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if outs[i].Output != string(golden) {
+			t.Fatalf("client %d: output not byte-identical to golden", i)
+		}
+	}
+	if s.Snapshot().Shed == 0 {
+		t.Log("note: no shed occurred (cap-1 contention did not materialise)")
+	}
+}
+
+// TestEventsStreamFullSuite (cheap slice): progress events stream over
+// HTTP while a render runs and end with the terminal state.
+func TestEventsStream(t *testing.T) {
+	_, base, _ := startServer(t, Config{
+		Workers:    1,
+		Inject:     mustPlan(t, "slow-worker@1"),
+		StallDelay: 100 * time.Millisecond,
+	})
+	res, payload := postJSON(t, base+"/v1/jobs", `{"table":2}`)
+	var acc Response
+	if err := json.Unmarshal(payload, &acc); err != nil || res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", res.StatusCode, payload)
+	}
+	// Stream while the job is still stalled: the body must deliver
+	// lines incrementally and close at the terminal state.
+	hres, err := http.Get(base + "/v1/jobs/" + acc.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(hres.Body)
+	hres.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := string(body)
+	if !strings.Contains(ev, "fault: slow-worker") || !strings.Contains(ev, "state done") {
+		t.Fatalf("stream missing expected lines:\n%s", ev)
+	}
+}
+
+// TestPoolControls: runtime resize and purge through the server.
+func TestPoolControls(t *testing.T) {
+	s, base, _ := startServer(t, Config{Workers: 2, QueueDepth: 2})
+	for i := 0; i < 3; i++ {
+		if res, payload := postJSON(t, base+"/v1/render", `{"table":2}`); res.StatusCode != http.StatusOK {
+			t.Fatalf("render %d: %d %s", i, res.StatusCode, payload)
+		}
+	}
+	s.Resize(4)
+	if got := s.Snapshot().Cap; got != 4 {
+		t.Fatalf("cap after resize: %d", got)
+	}
+	waitFor(t, "workers idle", func() bool { return s.Snapshot().Idle > 0 })
+	if purged := s.Purge(); purged == 0 {
+		t.Fatal("purge reclaimed nothing with idle workers present")
+	}
+	if res, _ := postJSON(t, base+"/v1/render", `{"table":2}`); res.StatusCode != http.StatusOK {
+		t.Fatal("render after purge failed")
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt import if assertions above change

@@ -1,0 +1,146 @@
+package janusd
+
+// Two daemon replicas sharing one artifact cache directory: the
+// durability contract says concurrent warm runs stay byte-identical
+// and never publish a corrupt entry. One replica runs in-process, the
+// second is this test binary re-exec'd as a helper daemon (the same
+// idiom internal/artcache's cross-process tests use), so the sharing
+// really crosses a process boundary.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"janus/internal/artcache"
+)
+
+// TestHelperReplicaDaemon is not a test: re-exec'd by
+// TestReplicasShareCache, it serves a daemon on a loopback port until
+// the parent kills it.
+func TestHelperReplicaDaemon(t *testing.T) {
+	if os.Getenv("JANUSD_REPLICA_HELPER") != "1" {
+		t.Skip("helper process for TestReplicasShareCache")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println("REPLICA-ERR", err)
+		os.Exit(1)
+	}
+	s := New(Config{Workers: 2, CacheDir: os.Getenv("JANUSD_REPLICA_CACHE")})
+	fmt.Printf("REPLICA-ADDR %s\n", ln.Addr())
+	_ = s.Serve(ln)
+}
+
+func TestReplicasShareCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite renders across two processes; skipped in -short")
+	}
+	golden, err := os.ReadFile("../harness/testdata/janus-bench.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Replica A, in-process, warms the shared cache with one full run.
+	_, baseA, _ := startServer(t, Config{Workers: 2, CacheDir: dir})
+	cA := &Client{Base: baseA}
+	warm, err := cA.Render(context.Background(), Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Output != string(golden) {
+		t.Fatal("warming render differs from golden")
+	}
+
+	// Replica B: a separate OS process pointed at the same directory.
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperReplicaDaemon$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"JANUSD_REPLICA_HELPER=1",
+		"JANUSD_REPLICA_CACHE="+dir,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	var baseB string
+	sc := bufio.NewScanner(stdout)
+	re := regexp.MustCompile(`^REPLICA-ADDR (.+)$`)
+	for sc.Scan() {
+		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+			baseB = "http://" + m[1]
+			break
+		}
+		if strings.HasPrefix(sc.Text(), "REPLICA-ERR") {
+			t.Fatal(sc.Text())
+		}
+	}
+	if baseB == "" {
+		t.Fatal("replica B never reported its address")
+	}
+
+	// Concurrent warm runs against both replicas.
+	type result struct {
+		res *Response
+		err error
+	}
+	results := make(chan result, 2)
+	for _, base := range []string{baseA, baseB} {
+		go func(base string) {
+			c := &Client{Base: base, HTTP: longClient()}
+			res, err := c.Render(context.Background(), Request{})
+			results <- result{res, err}
+		}(base)
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("concurrent warm render: %v", r.err)
+		}
+		if r.res.Output != string(golden) {
+			t.Fatal("concurrent warm render not byte-identical to golden")
+		}
+	}
+
+	// No corrupt entries on either side. The local handle is the same
+	// one the harness used (OpenShared dedups per directory); the
+	// remote replica reports through statusz.
+	local, err := artcache.OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := local.Stats().BadEntries; bad != 0 {
+		t.Fatalf("replica A saw %d corrupt cache entries", bad)
+	}
+	stB, err := (&Client{Base: baseB}).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.CacheBad != 0 {
+		t.Fatalf("replica B saw %d corrupt cache entries", stB.CacheBad)
+	}
+	if stB.CacheHits == 0 {
+		t.Fatal("replica B never hit the shared cache — the directory was not actually shared")
+	}
+}
+
+// longClient returns an HTTP client that tolerates full-suite renders.
+func longClient() *http.Client {
+	return &http.Client{Timeout: 5 * time.Minute}
+}

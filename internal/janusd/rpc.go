@@ -1,0 +1,69 @@
+package janusd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/rpc"
+)
+
+// RPC is the daemon's net/rpc surface, registered as service "Janus"
+// and reachable over HTTP CONNECT on /rpc of the same listener the
+// JSON API uses (rpc.DialHTTPPath("tcp", addr, "/rpc")).
+//
+// Admission failures (shed, draining) come back as typed Responses
+// with a nil RPC error, mirroring the JSON API: the transport worked,
+// the request was refused.
+type RPC struct {
+	s *Server
+}
+
+// Render submits req and blocks until its terminal response.
+func (r *RPC) Render(req Request, resp *Response) error {
+	j, err := r.s.Submit(req)
+	if err != nil {
+		*resp = *submitFailure(err)
+		return nil
+	}
+	res, _ := j.Wait(context.Background())
+	*resp = *res
+	return nil
+}
+
+// Submit admits req and returns its job ID without waiting.
+func (r *RPC) Submit(req Request, id *string) error {
+	j, err := r.s.Submit(req)
+	if err != nil {
+		return err
+	}
+	*id = j.ID
+	return nil
+}
+
+// Wait blocks until job id finishes and returns its response.
+func (r *RPC) Wait(id string, resp *Response) error {
+	j, ok := r.s.Job(id)
+	if !ok {
+		return errors.New("janusd: unknown job " + id)
+	}
+	res, _ := j.Wait(context.Background())
+	*resp = *res
+	return nil
+}
+
+// Stats returns the daemon snapshot.
+func (r *RPC) Stats(_ struct{}, st *Stats) error {
+	*st = r.s.Snapshot()
+	return nil
+}
+
+// rpcHandler builds the CONNECT-hijacking handler; rpc.Server's own
+// ServeHTTP implements the hijack, so mounting it on the mux is all
+// the multiplexing needed.
+func (s *Server) rpcHandler() http.Handler {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Janus", &RPC{s: s}); err != nil {
+		panic(err) // method-set mismatch is a programming error
+	}
+	return srv
+}

@@ -1,0 +1,58 @@
+package janusd
+
+import (
+	"context"
+	"net"
+	"os"
+	"time"
+)
+
+// Serve accepts connections on ln until the daemon is stopped. It
+// returns http.ErrServerClosed after a clean Drain or Close, matching
+// net/http's contract.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.http.Serve(ln)
+}
+
+// Drain gracefully stops the daemon: new submissions are refused with
+// a typed draining error (and /readyz flips to 503) while every
+// in-flight job runs to completion and its response stays deliverable.
+// If ctx expires first, the remaining jobs are cancelled through their
+// contexts so they flush typed cancellation errors instead of being
+// dropped mid-render — clients always see a terminal response.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil // second drain is a no-op; the first owns shutdown
+	}
+	s.cfg.Log.Printf("janusd: pid %d draining (%d queued, %d running)",
+		os.Getpid(), s.pool.Queued(), s.pool.Running())
+	s.pool.Close()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cfg.Log.Printf("janusd: drain deadline passed, cancelling in-flight jobs")
+		s.baseCancel()
+		<-done // cancelled renders abandon pending rows and finish fast
+	}
+	// Every job has a terminal response now; give in-flight HTTP
+	// exchanges a moment to flush it before connections close.
+	flushCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.http.Shutdown(flushCtx)
+	s.cfg.Log.Printf("janusd: pid %d drained", os.Getpid())
+	return err
+}
+
+// Close hard-stops the daemon: jobs are cancelled and connections
+// closed without waiting. Tests use it; production paths should Drain.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.baseCancel()
+	s.pool.Close()
+	return s.http.Close()
+}

@@ -1,0 +1,241 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSubmitRunsTasks(t *testing.T) {
+	p := New(4, 100)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { n.Add(1); wg.Done() }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+	p.Close()
+	p.Wait()
+}
+
+// TestAdmissionBoundExact pins the shedding contract: with cap C and
+// depth D, exactly C+D tasks are admitted however the worker
+// goroutines are scheduled, and the next submission fails with
+// ErrOverloaded.
+func TestAdmissionBoundExact(t *testing.T) {
+	const c, d = 2, 3
+	p := New(c, d)
+	release := make(chan struct{})
+	for i := 0; i < c+d; i++ {
+		if err := p.Submit(func() { <-release }); err != nil {
+			t.Fatalf("submission %d rejected: %v", i, err)
+		}
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-bound submit: got %v, want ErrOverloaded", err)
+	}
+	waitFor(t, "both workers busy", func() bool { return p.Running() == c })
+	if got := p.Queued(); got != d {
+		t.Fatalf("queued %d, want %d", got, d)
+	}
+	close(release)
+	waitFor(t, "queue drained", func() bool { return p.Queued() == 0 && p.Running() == 0 })
+	// Capacity freed: submissions are admitted again.
+	done := make(chan struct{})
+	if err := p.Submit(func() { close(done) }); err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+	<-done
+	p.Close()
+	p.Wait()
+}
+
+func TestCloseRejectsAndDrains(t *testing.T) {
+	p := New(1, 8)
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	p.Submit(func() { <-gate; ran.Add(1) })
+	for i := 0; i < 3; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if err := p.Submit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: got %v, want ErrClosed", err)
+	}
+	close(gate)
+	p.Wait()
+	if ran.Load() != 4 {
+		t.Fatalf("queued tasks dropped at close: ran %d, want 4", ran.Load())
+	}
+}
+
+func TestIdleAndPurge(t *testing.T) {
+	p := New(3, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		p.Submit(func() { wg.Done() })
+	}
+	wg.Wait()
+	waitFor(t, "workers idle", func() bool { return p.Idle() == 3 })
+	if n := p.Purge(); n != 3 {
+		t.Fatalf("purged %d workers, want 3", n)
+	}
+	waitFor(t, "workers reaped", func() bool { return p.Idle() == 0 })
+	// The pool respawns on demand after a purge.
+	done := make(chan struct{})
+	if err := p.Submit(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	p.Close()
+	p.Wait()
+}
+
+func TestResizeGrowsAndShrinks(t *testing.T) {
+	p := New(1, 16)
+	if p.Cap() != 1 {
+		t.Fatalf("cap %d, want 1", p.Cap())
+	}
+	gate := make(chan struct{})
+	var peak atomic.Int64
+	var cur atomic.Int64
+	task := func() {
+		if v := cur.Add(1); v > peak.Load() {
+			peak.Store(v)
+		}
+		<-gate
+		cur.Add(-1)
+	}
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "one running at cap 1", func() bool { return p.Running() == 1 })
+	p.Resize(4)
+	waitFor(t, "four running after grow", func() bool { return p.Running() == 4 })
+	close(gate)
+	waitFor(t, "drained", func() bool { return p.Running() == 0 })
+	if peak.Load() != 4 {
+		t.Fatalf("peak concurrency %d, want 4", peak.Load())
+	}
+
+	// Shrink back below the live worker count: excess workers exit,
+	// concurrency honors the new bound, queued work still runs.
+	p.Resize(1)
+	gate2 := make(chan struct{})
+	var peak2 atomic.Int64
+	var cur2 atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() {
+			defer wg.Done()
+			if v := cur2.Add(1); v > peak2.Load() {
+				peak2.Store(v)
+			}
+			<-gate2
+			cur2.Add(-1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "one running after shrink", func() bool { return p.Running() == 1 })
+	if got := p.Running(); got != 1 {
+		t.Fatalf("running %d after shrink, want 1", got)
+	}
+	go func() {
+		// Release each in turn; with cap 1 they serialise.
+		close(gate2)
+	}()
+	wg.Wait()
+	if peak2.Load() != 1 {
+		t.Fatalf("peak concurrency %d after shrink to 1, want 1", peak2.Load())
+	}
+	p.Close()
+	p.Wait()
+}
+
+func TestPanicKeepsWorkerAlive(t *testing.T) {
+	p := New(1, 8)
+	var caught atomic.Int64
+	p.OnPanic = func(v any, stack []byte) {
+		if v != "boom" || len(stack) == 0 {
+			t.Errorf("OnPanic got (%v, %d-byte stack)", v, len(stack))
+		}
+		caught.Add(1)
+	}
+	done := make(chan struct{})
+	p.Submit(func() { panic("boom") })
+	if err := p.Submit(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("task after panic never ran: worker died")
+	}
+	if caught.Load() != 1 {
+		t.Fatalf("OnPanic ran %d times, want 1", caught.Load())
+	}
+	p.Close()
+	p.Wait()
+}
+
+// TestConcurrentChurn hammers submit/resize/purge from many goroutines
+// under the race detector; every admitted task must run exactly once.
+func TestConcurrentChurn(t *testing.T) {
+	p := New(4, 64)
+	var admitted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				err := p.Submit(func() { ran.Add(1) })
+				if err == nil {
+					admitted.Add(1)
+				} else if !errors.Is(err, ErrOverloaded) {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				switch i % 50 {
+				case 10:
+					p.Resize(1 + i%7)
+				case 30:
+					p.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Close()
+	p.Wait()
+	if ran.Load() != admitted.Load() {
+		t.Fatalf("admitted %d tasks but ran %d", admitted.Load(), ran.Load())
+	}
+}
